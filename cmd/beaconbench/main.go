@@ -1,0 +1,64 @@
+// Command beaconbench regenerates the paper's evaluation: every table
+// and figure of Section VII, printed as formatted text reports.
+//
+// Usage:
+//
+//	beaconbench -exp all            # everything, paper order
+//	beaconbench -exp fig14          # one experiment
+//	beaconbench -exp fig18 -quick   # shrunken sweep for a fast look
+//	beaconbench -list               # available experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"beacongnn/internal/core"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id (or 'all')")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		quick   = flag.Bool("quick", false, "reduced scales and sweeps")
+		nodes   = flag.Int("nodes", 0, "materialized nodes per dataset (0 = default)")
+		batches = flag.Int("batches", 0, "mini-batches per simulation (0 = default)")
+		jsonOut = flag.Bool("json", false, "emit the numeric series as JSON instead of text")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range core.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	o := &core.Options{Quick: *quick, ScaleNodes: *nodes, Batches: *batches}
+	if *jsonOut {
+		rep, err := core.BuildReport(o)
+		if err == nil {
+			err = rep.WriteJSON(os.Stdout)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "beaconbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	var err error
+	if *exp == "all" {
+		err = core.RunAll(o, os.Stdout)
+	} else {
+		var e core.Experiment
+		e, err = core.ByID(*exp)
+		if err == nil {
+			fmt.Printf("===== %s — %s =====\n", e.ID, e.Title)
+			err = e.Run(o, os.Stdout)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "beaconbench:", err)
+		os.Exit(1)
+	}
+}

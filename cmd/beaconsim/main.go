@@ -1,0 +1,108 @@
+// Command beaconsim runs one platform × dataset simulation and prints
+// its full measurement report: throughput, utilization, latency
+// breakdowns, hop timeline, and energy.
+//
+// Usage:
+//
+//	beaconsim -platform BG-2 -dataset amazon
+//	beaconsim -platform CC -dataset reddit -batches 8 -nodes 20000
+//	beaconsim -platform BG-DGSP -dataset OGBN -read-latency 20us
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"beacongnn/internal/config"
+	"beacongnn/internal/dataset"
+	"beacongnn/internal/metrics"
+	"beacongnn/internal/platform"
+	"beacongnn/internal/sim"
+)
+
+func main() {
+	var (
+		plat    = flag.String("platform", "BG-2", "platform: CC, SmartSage, GList, BG-1, BG-DG, BG-SP, BG-DGSP, BG-2")
+		ds      = flag.String("dataset", "amazon", "dataset: reddit, amazon, movielens, OGBN, PPI")
+		nodes   = flag.Int("nodes", 10000, "materialized graph nodes")
+		batches = flag.Int("batches", 6, "mini-batches to simulate")
+		batch   = flag.Int("batch", 0, "mini-batch size (0 = paper default 64)")
+		readLat = flag.Duration("read-latency", 0, "flash read latency override (e.g. 20us; 0 = ULL 3µs)")
+		chans   = flag.Int("channels", 0, "flash channel count override")
+		dies    = flag.Int("dies", 0, "dies per channel override")
+		cores   = flag.Int("cores", 0, "firmware core count override")
+		seed    = flag.Uint64("seed", 0, "experiment seed override")
+	)
+	flag.Parse()
+
+	cfg := config.Default()
+	if *batch > 0 {
+		cfg.GNN.BatchSize = *batch
+	}
+	if *readLat > 0 {
+		cfg.Flash.ReadLatency = sim.Duration(*readLat)
+	}
+	if *chans > 0 {
+		cfg.Flash.Channels = *chans
+	}
+	if *dies > 0 {
+		cfg.Flash.DiesPerChannel = *dies
+	}
+	if *cores > 0 {
+		cfg.Firmware.Cores = *cores
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	kind, err := platform.ByName(*plat)
+	if err != nil {
+		fatal(err)
+	}
+	d, err := dataset.ByName(*ds)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("materializing %s at %d nodes...\n", d.Name, *nodes)
+	start := time.Now()
+	inst, err := dataset.Materialize(d, *nodes, cfg.Flash.PageSize, cfg.Seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("built DirectGraph: %d pages (%d primary, %d secondary), inflation %.1f%% [%v]\n",
+		inst.Build.Stats.PrimaryPages+inst.Build.Stats.SecondaryPages,
+		inst.Build.Stats.PrimaryPages, inst.Build.Stats.SecondaryPages,
+		inst.Build.Stats.InflationRatio()*100, time.Since(start).Round(time.Millisecond))
+
+	start = time.Now()
+	res, err := platform.Simulate(kind, cfg, inst, *batches, 1024)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\n%s on %s — %d batches × %d targets in %v simulated (%v wall)\n",
+		res.Platform, res.Dataset, res.Batches, cfg.GNN.BatchSize, res.Elapsed, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("throughput        %.0f targets/s\n", res.Throughput)
+	fmt.Printf("flash reads       %d (%.1f per target), %.1f MB over channels\n",
+		res.FlashReads, float64(res.FlashReads)/float64(res.Targets), float64(res.BusBytes)/1e6)
+	fmt.Printf("utilization       %.1f/%d dies, %.2f/%d channels (means)\n",
+		res.MeanDies, cfg.Flash.TotalDies(), res.MeanChannels, cfg.Flash.Channels)
+	fmt.Printf("hop overlap       %.2f\n", res.HopOverlap)
+	fmt.Printf("command lifetime  %v mean over %d commands\n", res.CmdLifetime, res.Commands)
+	for _, p := range []metrics.Phase{metrics.PhaseWaitBefore, metrics.PhaseFlash, metrics.PhaseWaitAfter, metrics.PhaseChannel} {
+		fmt.Printf("  %-18s %v\n", p, res.CmdBreakdown[p])
+	}
+	fmt.Printf("energy            %.1f mJ total, %.1f W avg, %.0f targets/s/W\n",
+		res.EnergyJ*1e3, res.AvgPowerW, res.Efficiency)
+	for _, s := range res.EnergyByCmp {
+		if s.Fraction >= 0.01 {
+			fmt.Printf("  %-14s %5.1f%%\n", s.Component, s.Fraction*100)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "beaconsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,57 @@
+// Training scenario: the complete story in one program. The functional
+// layer trains a GNN (teacher–student, SGD on gradient-checked
+// backprop) to show the computation is real, and the timing layer
+// simulates what that training costs on the CPU-centric baseline versus
+// BeaconGNN-2.0 — with the backward pass included in the accelerator
+// workload (GNN.Training).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"beacongnn"
+)
+
+func main() {
+	cfg := beacongnn.DefaultConfig()
+	inst, err := beacongnn.BuildCustomDataset("citations", 8_000, 25, 64, 2.1, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- functional training: the loss actually goes down ---
+	// A narrower head keeps the toy task well-conditioned for plain SGD.
+	trainCfg := cfg
+	trainCfg.GNN.HiddenDim = 16
+	losses, err := beacongnn.Train(inst, 800, 0.5, trainCfg, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	window := func(from, to int) float32 {
+		var s float32
+		for _, v := range losses[from:to] {
+			s += v
+		}
+		return s / float32(to-from)
+	}
+	first, last := window(0, 50), window(len(losses)-50, len(losses))
+	fmt.Printf("teacher–student training: mean loss %.3e (first 50 steps) → %.3e (last 50, %.1f× lower)\n", first, last, first/last)
+	if last < first {
+		fmt.Println("the student is learning ✓")
+	}
+
+	// --- timing: what training throughput costs, CC vs BG-2 ---
+	cfg.GNN.Training = true // backward pass on the accelerator
+	fmt.Println("\nsimulated training throughput (backward pass included):")
+	for _, p := range []beacongnn.Platform{beacongnn.CC, beacongnn.BG1, beacongnn.BG2} {
+		res, err := beacongnn.Run(p, cfg, inst, 5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-6s %9.0f targets/s   (%.1f W, %.0f targets/s/W)\n",
+			res.Platform, res.Throughput, res.AvgPowerW, res.Efficiency)
+	}
+	fmt.Println("\ndata preparation dominates GNN training (the paper's premise), so")
+	fmt.Println("adding the backward pass barely moves BG-2 — flash, not FLOPs, is the wall.")
+}

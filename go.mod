@@ -1,0 +1,3 @@
+module beacongnn
+
+go 1.22

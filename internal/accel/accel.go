@@ -1,0 +1,181 @@
+// Package accel models the bus-attached spatial accelerator of Section
+// V-C (and the discrete TPU-like accelerator of the CPU-centric
+// baseline): a 2-D output-stationary systolic array for GEMM-based
+// embedding updates plus a 1-D vector array for embedding aggregation,
+// fed from an SRAM buffer.
+//
+// Timing follows ScaleSim-2.0's analytic model: an output-stationary
+// R×C array computes one M×K×N GEMM in
+//
+//	ceil(M/R) · ceil(N/C) · (2R + C + K − 2) cycles,
+//
+// i.e. per output tile the array fills, streams K partial sums, and
+// drains. The vector array processes lanes elements per cycle.
+package accel
+
+import (
+	"fmt"
+
+	"beacongnn/internal/config"
+	"beacongnn/internal/sim"
+)
+
+// GEMM is one matrix multiply: (M×K) · (K×N).
+type GEMM struct {
+	M, K, N int
+}
+
+// Validate reports whether all dimensions are positive.
+func (g GEMM) Validate() error {
+	if g.M <= 0 || g.K <= 0 || g.N <= 0 {
+		return fmt.Errorf("accel: GEMM dims must be positive: %+v", g)
+	}
+	return nil
+}
+
+// MACs returns the multiply-accumulate count.
+func (g GEMM) MACs() int64 { return int64(g.M) * int64(g.K) * int64(g.N) }
+
+// InputBytes returns the FP16 operand traffic (activations + weights).
+func (g GEMM) InputBytes() int64 {
+	return 2 * (int64(g.M)*int64(g.K) + int64(g.K)*int64(g.N))
+}
+
+// OutputBytes returns the FP16 result traffic.
+func (g GEMM) OutputBytes() int64 { return 2 * int64(g.M) * int64(g.N) }
+
+// Model computes timings for one accelerator configuration.
+type Model struct {
+	cfg config.Accel
+}
+
+// New returns a model for the configuration.
+func New(cfg config.Accel) (*Model, error) {
+	if cfg.Rows <= 0 || cfg.Cols <= 0 || cfg.VectorLanes <= 0 || cfg.ClockHz <= 0 {
+		return nil, fmt.Errorf("accel: invalid config %+v", cfg)
+	}
+	return &Model{cfg: cfg}, nil
+}
+
+// Config returns the accelerator configuration.
+func (m *Model) Config() config.Accel { return m.cfg }
+
+func (m *Model) cyclesToTime(cycles int64) sim.Time {
+	return sim.Time(float64(cycles) / m.cfg.ClockHz * float64(sim.Second))
+}
+
+// GEMMCycles returns the output-stationary cycle count for one GEMM.
+func (m *Model) GEMMCycles(g GEMM) int64 {
+	tilesM := int64((g.M + m.cfg.Rows - 1) / m.cfg.Rows)
+	tilesN := int64((g.N + m.cfg.Cols - 1) / m.cfg.Cols)
+	perTile := int64(2*m.cfg.Rows + m.cfg.Cols + g.K - 2)
+	return tilesM * tilesN * perTile
+}
+
+// GEMMTime returns the wall-clock time of one GEMM.
+func (m *Model) GEMMTime(g GEMM) sim.Time { return m.cyclesToTime(m.GEMMCycles(g)) }
+
+// VectorCycles returns cycles to stream elems elements through the 1-D
+// array (one op per element, e.g. vector_sum accumulation).
+func (m *Model) VectorCycles(elems int64) int64 {
+	lanes := int64(m.cfg.VectorLanes)
+	return (elems + lanes - 1) / lanes
+}
+
+// VectorTime returns the wall-clock time of a vector pass.
+func (m *Model) VectorTime(elems int64) sim.Time {
+	return m.cyclesToTime(m.VectorCycles(elems))
+}
+
+// Utilization returns the fraction of peak MACs a GEMM achieves —
+// useful for sanity-checking array shapes against layer shapes.
+func (m *Model) Utilization(g GEMM) float64 {
+	cycles := m.GEMMCycles(g)
+	if cycles == 0 {
+		return 0
+	}
+	peak := cycles * int64(m.cfg.Rows) * int64(m.cfg.Cols)
+	return float64(g.MACs()) / float64(peak)
+}
+
+// Workload aggregates a batch's compute: a list of GEMMs plus vector
+// aggregation element counts. Build it once per GNN layer structure.
+type Workload struct {
+	GEMMs      []GEMM
+	VectorElem int64 // total elements streamed through the vector array
+}
+
+// MACs returns the workload's multiply-accumulate count.
+func (w Workload) MACs() int64 {
+	var t int64
+	for _, g := range w.GEMMs {
+		t += g.MACs()
+	}
+	return t
+}
+
+// SRAMBytes returns total operand + result traffic (vector elements are
+// read once and written once per dim... counted as 2 B in + 2 B out).
+func (w Workload) SRAMBytes() int64 {
+	var t int64
+	for _, g := range w.GEMMs {
+		t += g.InputBytes() + g.OutputBytes()
+	}
+	return t + 4*w.VectorElem
+}
+
+// Time returns the serial execution time of the workload on the model:
+// vector aggregation feeds the systolic update, so phases serialize
+// within a layer, but the per-layer GEMMs listed are executed back to
+// back (the SRAM buffer double-buffers operands).
+func (m *Model) Time(w Workload) sim.Time {
+	t := m.VectorTime(w.VectorElem)
+	for _, g := range w.GEMMs {
+		t += m.GEMMTime(g)
+	}
+	return t
+}
+
+// GEMMTimeWithMemory extends GEMMTime with the SRAM buffer's capacity
+// effects: operands stream from DRAM through the buffer, double-
+// buffered behind compute. While the working set fits the SRAM, each
+// byte moves once and compute hides it; once it spills, the stationary
+// weight matrix must be re-fetched for every row of output tiles, and
+// whatever streaming compute cannot hide becomes stall time. This is
+// the flexibility Section V-C's shared, partition-configurable buffer
+// provides — and its limit.
+func (m *Model) GEMMTimeWithMemory(g GEMM, dramBW float64) sim.Time {
+	compute := m.GEMMCycles(g)
+	traffic := g.InputBytes() + g.OutputBytes()
+	if traffic > int64(m.cfg.SRAMBytes) {
+		tilesM := int64((g.M + m.cfg.Rows - 1) / m.cfg.Rows)
+		if tilesM > 1 {
+			traffic += (tilesM - 1) * 2 * int64(g.K) * int64(g.N)
+		}
+	}
+	computeT := m.cyclesToTime(compute)
+	streamT := sim.Time(float64(traffic) / dramBW * float64(sim.Second))
+	if streamT > computeT {
+		return streamT
+	}
+	return computeT
+}
+
+// TimeWithMemory is Time using the memory-aware per-GEMM model.
+func (m *Model) TimeWithMemory(w Workload, dramBW float64) sim.Time {
+	t := m.VectorTime(w.VectorElem)
+	for _, g := range w.GEMMs {
+		t += m.GEMMTimeWithMemory(g, dramBW)
+	}
+	return t
+}
+
+// Spills reports whether any GEMM of the workload overflows the SRAM.
+func (m *Model) Spills(w Workload) bool {
+	for _, g := range w.GEMMs {
+		if g.InputBytes()+g.OutputBytes() > int64(m.cfg.SRAMBytes) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,127 @@
+// Package array models Section VIII's scale-out vision: multiple
+// BeaconGNN SSDs forming a computational storage array, communicating
+// over direct P2P links. The graph is hash-partitioned across devices;
+// each device samples and computes its own shard, and sampling commands
+// whose child lives on another device cross the P2P fabric.
+//
+// The model composes a full event-driven single-device simulation with
+// an analytic fabric model: per-device throughput comes from the
+// platform simulator, remote traffic from the measured command/feature
+// volumes and the partition's remote fraction, and the array's
+// aggregate throughput is the device sum unless the fabric saturates.
+// This is deliberately a first-order model of a future-work paragraph;
+// its value is exposing when the paper's "linear scaling" claim holds
+// (low remote fractions or fat links) and when it breaks.
+package array
+
+import (
+	"fmt"
+
+	"beacongnn/internal/config"
+	"beacongnn/internal/dataset"
+	"beacongnn/internal/platform"
+	"beacongnn/internal/sampler"
+)
+
+// Config describes the array fabric.
+type Config struct {
+	Devices        int     // BeaconGNN SSDs in the array
+	P2PBandwidth   float64 // per-device P2P link bandwidth, bytes/s
+	RemoteFraction float64 // fraction of sampled children on another device
+}
+
+// Validate reports whether the array configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.Devices < 1:
+		return fmt.Errorf("array: need at least one device, got %d", c.Devices)
+	case c.P2PBandwidth <= 0:
+		return fmt.Errorf("array: P2P bandwidth must be positive")
+	case c.RemoteFraction < 0 || c.RemoteFraction > 1:
+		return fmt.Errorf("array: remote fraction %v outside [0,1]", c.RemoteFraction)
+	}
+	return nil
+}
+
+// DefaultRemoteFraction returns the expected remote fraction of an
+// n-way hash partition with no locality optimization: (n−1)/n of
+// uniformly-chosen children live elsewhere. Partition-aware layouts
+// (METIS-style) push this far lower; pass your own value to model them.
+func DefaultRemoteFraction(devices int) float64 {
+	if devices <= 1 {
+		return 0
+	}
+	return float64(devices-1) / float64(devices)
+}
+
+// Result describes the array's composed performance.
+type Result struct {
+	Devices     int
+	PerDevice   *platform.Result
+	RemoteFrac  float64
+	P2PDemand   float64 // bytes/s each device must push over its link
+	P2PCapacity float64
+	FabricBound bool
+
+	// AggregateThroughput is the array's total targets/s.
+	AggregateThroughput float64
+	// Speedup is aggregate throughput over a single device's.
+	Speedup float64
+	// CapacityBytes is the array's total flash capacity.
+	CapacityBytes int64
+}
+
+// Run simulates one shard and composes the array result. The instance
+// represents one device's partition (the paper's linear-capacity claim:
+// each extra SSD brings its own shard).
+func Run(kind platform.Kind, cfg config.Config, acfg Config, inst *dataset.Instance, batches int) (*Result, error) {
+	if err := acfg.Validate(); err != nil {
+		return nil, err
+	}
+	dev, err := platform.Simulate(kind, cfg, inst, batches, 0)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Devices:       acfg.Devices,
+		PerDevice:     dev,
+		RemoteFrac:    acfg.RemoteFraction,
+		P2PCapacity:   acfg.P2PBandwidth,
+		CapacityBytes: int64(acfg.Devices) * cfg.Flash.TotalBytes(),
+	}
+	// Remote traffic per target: each remote child costs a command out
+	// (EncodedBytes) and its result back (feature + header + child
+	// commands), approximated by the measured mean result size.
+	cmdsPerTarget := float64(dev.Commands) / float64(dev.Targets)
+	meanResult := float64(dev.BusBytes) / float64(dev.Commands)
+	remotePerTarget := acfg.RemoteFraction * cmdsPerTarget * (sampler.EncodedBytes + meanResult)
+	res.P2PDemand = dev.Throughput * remotePerTarget
+
+	scale := 1.0
+	if res.P2PDemand > res.P2PCapacity {
+		scale = res.P2PCapacity / res.P2PDemand
+		res.FabricBound = true
+	}
+	res.AggregateThroughput = float64(acfg.Devices) * dev.Throughput * scale
+	res.Speedup = res.AggregateThroughput / dev.Throughput
+	return res, nil
+}
+
+// Sweep runs the array at 1..maxDevices and returns per-size results,
+// convenient for plotting the scaling curve.
+func Sweep(kind platform.Kind, cfg config.Config, base Config, inst *dataset.Instance, batches, maxDevices int) ([]*Result, error) {
+	var out []*Result
+	for n := 1; n <= maxDevices; n *= 2 {
+		acfg := base
+		acfg.Devices = n
+		if acfg.RemoteFraction == 0 && n > 1 {
+			acfg.RemoteFraction = DefaultRemoteFraction(n)
+		}
+		r, err := Run(kind, cfg, acfg, inst, batches)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,133 @@
+package array
+
+import (
+	"testing"
+
+	"beacongnn/internal/config"
+	"beacongnn/internal/dataset"
+	"beacongnn/internal/platform"
+)
+
+func arrayFixture(t *testing.T) (*dataset.Instance, config.Config) {
+	t.Helper()
+	cfg := config.Default()
+	cfg.GNN.BatchSize = 32
+	d, err := dataset.ByName("amazon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := dataset.Materialize(d, 3000, cfg.Flash.PageSize, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst, cfg
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{Devices: 0, P2PBandwidth: 1e9},
+		{Devices: 2, P2PBandwidth: 0},
+		{Devices: 2, P2PBandwidth: 1e9, RemoteFraction: 1.5},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %+v accepted", c)
+		}
+	}
+}
+
+func TestDefaultRemoteFraction(t *testing.T) {
+	if DefaultRemoteFraction(1) != 0 {
+		t.Fatal("single device should have no remote traffic")
+	}
+	if got := DefaultRemoteFraction(4); got != 0.75 {
+		t.Fatalf("4-way fraction = %v", got)
+	}
+}
+
+func TestSingleDeviceIsBaseline(t *testing.T) {
+	inst, cfg := arrayFixture(t)
+	r, err := Run(platform.BG2, cfg, Config{Devices: 1, P2PBandwidth: 8e9}, inst, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Speedup != 1 || r.FabricBound {
+		t.Fatalf("single device: speedup=%v fabricBound=%v", r.Speedup, r.FabricBound)
+	}
+	if r.AggregateThroughput != r.PerDevice.Throughput {
+		t.Fatal("aggregate != per-device for one SSD")
+	}
+}
+
+func TestLinearScalingWithFatLinks(t *testing.T) {
+	// Section VIII's claim: with adequate P2P bandwidth, capacity and
+	// throughput grow linearly with device count.
+	inst, cfg := arrayFixture(t)
+	r, err := Run(platform.BG2, cfg, Config{
+		Devices: 8, P2PBandwidth: 1e12, RemoteFraction: DefaultRemoteFraction(8),
+	}, inst, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FabricBound {
+		t.Fatal("terabyte links should not saturate")
+	}
+	if r.Speedup != 8 {
+		t.Fatalf("speedup = %v, want 8", r.Speedup)
+	}
+	if r.CapacityBytes != 8*cfg.Flash.TotalBytes() {
+		t.Fatal("capacity not linear")
+	}
+}
+
+func TestFabricSaturationCapsScaling(t *testing.T) {
+	inst, cfg := arrayFixture(t)
+	thin, err := Run(platform.BG2, cfg, Config{
+		Devices: 8, P2PBandwidth: 10e6, RemoteFraction: DefaultRemoteFraction(8),
+	}, inst, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !thin.FabricBound {
+		t.Fatal("10 MB/s links must saturate")
+	}
+	if thin.Speedup >= 8 {
+		t.Fatalf("speedup = %v under saturated fabric", thin.Speedup)
+	}
+	if thin.P2PDemand <= thin.P2PCapacity {
+		t.Fatal("demand accounting inconsistent with saturation flag")
+	}
+}
+
+func TestLocalityReducesDemand(t *testing.T) {
+	// A partition-aware layout (low remote fraction) must need less
+	// fabric bandwidth than naive hashing.
+	inst, cfg := arrayFixture(t)
+	naive, err := Run(platform.BG2, cfg, Config{Devices: 4, P2PBandwidth: 1e12, RemoteFraction: 0.75}, inst, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smart, err := Run(platform.BG2, cfg, Config{Devices: 4, P2PBandwidth: 1e12, RemoteFraction: 0.1}, inst, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smart.P2PDemand >= naive.P2PDemand {
+		t.Fatalf("locality did not reduce demand: %v vs %v", smart.P2PDemand, naive.P2PDemand)
+	}
+}
+
+func TestSweepShape(t *testing.T) {
+	inst, cfg := arrayFixture(t)
+	results, err := Sweep(platform.BG2, cfg, Config{P2PBandwidth: 8e9}, inst, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 { // 1, 2, 4, 8
+		t.Fatalf("sweep lengths = %d", len(results))
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].AggregateThroughput < results[i-1].AggregateThroughput {
+			t.Fatal("aggregate throughput decreased with more devices")
+		}
+	}
+}

@@ -1,0 +1,161 @@
+// Package core orchestrates the paper's experiments: it binds datasets,
+// platform simulations, and formatting into one runner per table/figure
+// of the evaluation section (Section VII). The beaconbench binary and
+// the repository's benchmark suite are thin wrappers over this package.
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"beacongnn/internal/config"
+	"beacongnn/internal/dataset"
+	"beacongnn/internal/platform"
+)
+
+// Options tunes experiment execution. The zero value is completed by
+// (*Options).fill: paper-base config, 10 000-node instances, 6 batches.
+type Options struct {
+	Cfg        config.Config
+	ScaleNodes int  // materialized node count per dataset
+	Batches    int  // mini-batches per simulation
+	Quick      bool // shrink sweeps for CI-speed runs
+	filled     bool
+}
+
+func (o *Options) fill() {
+	if o.filled {
+		return
+	}
+	if o.Cfg.Flash.Channels == 0 {
+		o.Cfg = config.Default()
+	}
+	if o.ScaleNodes == 0 {
+		o.ScaleNodes = 10_000
+	}
+	if o.Batches == 0 {
+		o.Batches = 6
+	}
+	if o.Quick {
+		if o.ScaleNodes > 4000 {
+			o.ScaleNodes = 4000
+		}
+		o.Batches = 3
+	}
+	o.filled = true
+}
+
+// Experiment is one reproducible table or figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(o *Options, w io.Writer) error
+}
+
+// Experiments returns every experiment in paper order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"table2", "Table II: platform configuration", RunTable2},
+		{"table3", "Table III: dataset statistics (reconstructed)", RunTable3},
+		{"fig7", "Figure 7a: page-granular channel contention", RunFig7},
+		{"fig14", "Figure 14: throughput across platforms and datasets", RunFig14},
+		{"fig15", "Figure 15a-e: flash resource utilization", RunFig15},
+		{"fig15f", "Figure 15f: overall latency breakdown (amazon)", RunFig15f},
+		{"fig16", "Figure 16: hop timeline overlap (amazon)", RunFig16},
+		{"fig17", "Figure 17: command latency breakdown (amazon)", RunFig17},
+		{"fig18", "Figure 18: sensitivity sweeps (amazon)", RunFig18},
+		{"fig19", "Figure 19: energy breakdown and efficiency (amazon)", RunFig19},
+		{"trad", "Section VII-E: traditional (20 µs) SSD throughput", RunTraditional},
+		{"table4", "Table IV: DirectGraph storage inflation", RunTable4},
+		{"ext", "Extensions: ablations, scale-out, construction, interference", RunExtensions},
+	}
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, error) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("core: unknown experiment %q (use one of %v)", id, ids())
+}
+
+func ids() []string {
+	var out []string
+	for _, e := range Experiments() {
+		out = append(out, e.ID)
+	}
+	return out
+}
+
+// RunAll executes every experiment in order.
+func RunAll(o *Options, w io.Writer) error {
+	for _, e := range Experiments() {
+		fmt.Fprintf(w, "\n===== %s — %s =====\n", e.ID, e.Title)
+		if err := e.Run(o, w); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+	}
+	return nil
+}
+
+// instance materializes one dataset at the options' scale, caching per
+// (name, pageSize) within the Options value.
+type instKey struct {
+	name     string
+	pageSize int
+}
+
+var instCache = map[instKey]*dataset.Instance{}
+
+func (o *Options) instance(name string) (*dataset.Instance, error) {
+	o.fill()
+	d, err := dataset.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	key := instKey{name, o.Cfg.Flash.PageSize}
+	if inst, ok := instCache[key]; ok && inst.Graph.NumNodes() == o.ScaleNodes {
+		return inst, nil
+	}
+	inst, err := dataset.Materialize(d, o.ScaleNodes, o.Cfg.Flash.PageSize, o.Cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	instCache[key] = inst
+	return inst, nil
+}
+
+// simulate runs one platform on a named dataset.
+func (o *Options) simulate(k platform.Kind, name string, timeline int) (*platform.Result, error) {
+	o.fill()
+	inst, err := o.instance(name)
+	if err != nil {
+		return nil, err
+	}
+	return platform.Simulate(k, o.Cfg, inst, o.Batches, timeline)
+}
+
+// normalizeTo divides every value by the base key's value.
+func normalizeTo(m map[string]float64, base string) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	b := m[base]
+	for k, v := range m {
+		if b > 0 {
+			out[k] = v / b
+		}
+	}
+	return out
+}
+
+// sortedKeys returns a map's keys in sorted order (deterministic output).
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func quickOpts() *Options {
+	return &Options{Quick: true, ScaleNodes: 2500, Batches: 2}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	exps := Experiments()
+	want := []string{"table2", "table3", "fig7", "fig14", "fig15", "fig15f", "fig16", "fig17", "fig18", "fig19", "trad", "table4", "ext"}
+	if len(exps) != len(want) {
+		t.Fatalf("registered %d experiments, want %d", len(exps), len(want))
+	}
+	for i, id := range want {
+		if exps[i].ID != id {
+			t.Errorf("experiment %d = %s, want %s", i, exps[i].ID, id)
+		}
+		if exps[i].Run == nil || exps[i].Title == "" {
+			t.Errorf("experiment %s incomplete", id)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("fig14")
+	if err != nil || e.ID != "fig14" {
+		t.Fatalf("ByID: %v %v", e.ID, err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestStaticExperimentsRender(t *testing.T) {
+	// The cheap experiments must produce the expected anchors.
+	cases := []struct {
+		id   string
+		want string
+	}{
+		{"table2", "16 channels"},
+		{"table3", "movielens"},
+		{"fig7", "paper: +49%"},
+		{"table4", "OGBN"},
+	}
+	for _, c := range cases {
+		e, err := ByID(c.id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := e.Run(quickOpts(), &sb); err != nil {
+			t.Fatalf("%s: %v", c.id, err)
+		}
+		if !strings.Contains(sb.String(), c.want) {
+			t.Errorf("%s output missing %q:\n%s", c.id, c.want, sb.String())
+		}
+	}
+}
+
+func TestFig15fRenders(t *testing.T) {
+	e, _ := ByID("fig15f")
+	var sb strings.Builder
+	if err := e.Run(quickOpts(), &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, plat := range []string{"CC", "BG-2", "pcie", "channel"} {
+		if !strings.Contains(out, plat) {
+			t.Errorf("fig15f missing %q", plat)
+		}
+	}
+}
+
+func TestFig16and17Render(t *testing.T) {
+	for _, id := range []string{"fig16", "fig17"} {
+		e, _ := ByID(id)
+		var sb strings.Builder
+		if err := e.Run(quickOpts(), &sb); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if !strings.Contains(sb.String(), "BG-2") {
+			t.Errorf("%s output incomplete", id)
+		}
+	}
+}
+
+func TestFig18SweepsQuick(t *testing.T) {
+	sweeps := Fig18Sweeps(true)
+	if len(sweeps) != 6 {
+		t.Fatalf("sweeps = %d, want 6 (Figure 18a–f)", len(sweeps))
+	}
+	// Each quick sweep has 2 points; full has 4.
+	for _, s := range sweeps {
+		if len(s.Points) != 2 {
+			t.Errorf("quick sweep %s has %d points", s.Name, len(s.Points))
+		}
+	}
+	full := Fig18Sweeps(false)
+	for _, s := range full {
+		if len(s.Points) != 4 {
+			t.Errorf("full sweep %s has %d points", s.Name, len(s.Points))
+		}
+	}
+}
+
+func TestRunSweepReturnsSeries(t *testing.T) {
+	o := quickOpts()
+	s := Fig18Sweeps(true)[2] // controller cores — cheap
+	res, err := RunSweep(o, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 5 { // five BG platforms
+		t.Fatalf("platforms in sweep = %d", len(res))
+	}
+	for k, series := range res {
+		if len(series) != len(s.Points) {
+			t.Errorf("%s series has %d points", k, len(series))
+		}
+		for _, v := range series {
+			if v <= 0 {
+				t.Errorf("%s has non-positive throughput", k)
+			}
+		}
+	}
+}
+
+func TestOptionsFillDefaults(t *testing.T) {
+	o := &Options{}
+	o.fill()
+	if o.ScaleNodes == 0 || o.Batches == 0 || o.Cfg.Flash.Channels == 0 {
+		t.Fatalf("fill left zeros: %+v", o)
+	}
+	q := &Options{Quick: true}
+	q.fill()
+	if q.ScaleNodes > 4000 || q.Batches > 3 {
+		t.Fatalf("quick mode not reduced: %+v", q)
+	}
+}
+
+func TestNormalizeTo(t *testing.T) {
+	m := map[string]float64{"a": 2, "b": 6}
+	n := normalizeTo(m, "a")
+	if n["a"] != 1 || n["b"] != 3 {
+		t.Fatalf("normalized = %v", n)
+	}
+	if keys := sortedKeys(m); keys[0] != "a" || keys[1] != "b" {
+		t.Fatalf("keys = %v", keys)
+	}
+}

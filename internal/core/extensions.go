@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"beacongnn/internal/array"
+	"beacongnn/internal/platform"
+)
+
+// RunExtensions reports the beyond-the-paper studies (DESIGN.md §5):
+// design ablations, the Section VIII scale-out array, DirectGraph
+// construction throughput (§VI-B), and regular-I/O interference in
+// acceleration mode (§VI-G).
+func RunExtensions(o *Options, w io.Writer) error {
+	o.fill()
+
+	// Ablation: mini-batch pipelining (§VI-D).
+	inst, err := o.instance("amazon")
+	if err != nil {
+		return err
+	}
+	on, err := platform.Simulate(platform.BG2, o.Cfg, inst, o.Batches, 0)
+	if err != nil {
+		return err
+	}
+	cfg := o.Cfg
+	cfg.Ablation.NoPipeline = true
+	off, err := platform.Simulate(platform.BG2, cfg, inst, o.Batches, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "ablation: prep/compute pipelining (§VI-D)  on %.0f t/s, off %.0f t/s → %.2f× gain\n",
+		on.Throughput, off.Throughput, on.Throughput/off.Throughput)
+
+	// Ablation: secondary-command coalescing (§V-A) on a high-degree graph.
+	rinst, err := o.instance("reddit")
+	if err != nil {
+		return err
+	}
+	ccfg := o.Cfg
+	ccfg.GNN.Fanout = 6
+	con, err := platform.Simulate(platform.BG2, ccfg, rinst, o.Batches, 0)
+	if err != nil {
+		return err
+	}
+	ccfg.Ablation.NoCoalesce = true
+	coff, err := platform.Simulate(platform.BG2, ccfg, rinst, o.Batches, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "ablation: secondary coalescing (§V-A)      reads %d → %d without (%.2f× amplification)\n",
+		con.FlashReads, coff.FlashReads, float64(coff.FlashReads)/float64(con.FlashReads))
+
+	// Scale-out array (§VIII).
+	fmt.Fprintln(w, "scale-out array (§VIII), BG-2 on amazon, 4 GB/s P2P links:")
+	fmt.Fprintf(w, "  %-8s %10s %12s %14s %8s\n", "devices", "speedup", "capacity", "P2P demand", "bound")
+	sweep, err := array.Sweep(platform.BG2, o.Cfg, array.Config{P2PBandwidth: 4e9}, inst, o.Batches, 8)
+	if err != nil {
+		return err
+	}
+	for _, r := range sweep {
+		bound := "—"
+		if r.FabricBound {
+			bound = "fabric"
+		}
+		fmt.Fprintf(w, "  %-8d %9.2f× %9.0f GB %11.2f GB/s %8s\n",
+			r.Devices, r.Speedup, float64(r.CapacityBytes)/1e9, r.P2PDemand/1e9, bound)
+	}
+
+	// DirectGraph construction (§VI-B).
+	cons, err := platform.SimulateConstruction(o.Cfg, inst)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "DirectGraph flush (§VI-B): %d pages in %v → %.0f MB/s\n",
+		cons.Pages, cons.Elapsed, cons.Bandwidth/1e6)
+
+	// Regular-I/O interference (§VI-G).
+	s, err := platform.NewSystem(platform.BG2, o.Cfg, inst, 0)
+	if err != nil {
+		return err
+	}
+	_, ioStats, err := s.RunWithRegularIO(o.Batches)
+	if err != nil {
+		return err
+	}
+	idle, err := platform.RegularIOBaseline(o.Cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "regular I/O (§VI-G): idle-device read %v; in acceleration mode %v mean (deferral %v)\n",
+		idle, ioStats.MeanLatency, ioStats.MeanDeferral)
+
+	// Skewed (hot-node) targets.
+	zcfg := o.Cfg
+	zcfg.GNN.TargetSkew = 1.4
+	z, err := platform.Simulate(platform.BG2, zcfg, inst, o.Batches, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "hot-node targets (Zipf 1.4): %.0f t/s vs %.0f uniform (%.0f%%), mean dies %.1f vs %.1f\n",
+		z.Throughput, on.Throughput, z.Throughput/on.Throughput*100, z.MeanDies, on.MeanDies)
+	return nil
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+
+	"beacongnn/internal/dataset"
+	"beacongnn/internal/flash"
+	"beacongnn/internal/platform"
+	"beacongnn/internal/sim"
+)
+
+// Report is the machine-readable form of the evaluation: every numeric
+// series behind the figures, for downstream plotting. Built by
+// BuildReport and emitted by `beaconbench -json`.
+type Report struct {
+	ScaleNodes int `json:"scale_nodes"`
+	Batches    int `json:"batches"`
+
+	Fig7   []Fig7Point            `json:"fig7"`
+	Fig14  []Fig14Row             `json:"fig14"`
+	Fig14N []Fig14Row             `json:"fig14_normalized"`
+	Fig18  []SweepSeries          `json:"fig18"`
+	Fig19  []EnergyRow            `json:"fig19"`
+	Trad   map[string]float64     `json:"traditional_speedup"`
+	Table4 []InflationRow         `json:"table4"`
+	Util   map[string]UtilSummary `json:"fig15_util"`
+}
+
+// Fig7Point is one die-count sample of the contention microbenchmark.
+type Fig7Point struct {
+	Dies       int     `json:"dies"`
+	PagesPerS  float64 `json:"pages_per_s"`
+	AvgLatency float64 `json:"avg_latency_us"`
+	BusUtil    float64 `json:"bus_util"`
+}
+
+// Fig14Row is one dataset's throughput across platforms.
+type Fig14Row struct {
+	Dataset string             `json:"dataset"`
+	Values  map[string]float64 `json:"values"`
+}
+
+// SweepSeries is one Figure-18 axis.
+type SweepSeries struct {
+	Name   string               `json:"name"`
+	Points []string             `json:"points"`
+	Series map[string][]float64 `json:"series"` // platform → throughput
+}
+
+// EnergyRow is one platform's Figure-19 numbers.
+type EnergyRow struct {
+	Platform   string             `json:"platform"`
+	Groups     map[string]float64 `json:"groups"`
+	PowerW     float64            `json:"power_w"`
+	Efficiency float64            `json:"targets_per_s_per_w"`
+}
+
+// InflationRow is one Table-IV entry.
+type InflationRow struct {
+	Dataset   string  `json:"dataset"`
+	RawGB     float64 `json:"raw_gb"`
+	Inflation float64 `json:"inflation"`
+}
+
+// UtilSummary is one platform's mean utilization on amazon.
+type UtilSummary struct {
+	MeanDies     float64 `json:"mean_dies"`
+	MeanChannels float64 `json:"mean_channels"`
+	HopOverlap   float64 `json:"hop_overlap"`
+}
+
+// BuildReport runs the numeric experiments and assembles the report.
+func BuildReport(o *Options) (*Report, error) {
+	o.fill()
+	rep := &Report{
+		ScaleNodes: o.ScaleNodes,
+		Batches:    o.Batches,
+		Trad:       map[string]float64{},
+		Util:       map[string]UtilSummary{},
+	}
+
+	// Fig 7.
+	for n := 1; n <= o.Cfg.Flash.DiesPerChannel; n++ {
+		res, err := flash.RunChannelContention(o.Cfg.Flash, n, 2*sim.Millisecond)
+		if err != nil {
+			return nil, err
+		}
+		rep.Fig7 = append(rep.Fig7, Fig7Point{
+			Dies: n, PagesPerS: res.Throughput,
+			AvgLatency: res.AvgLatency.Micros(), BusUtil: res.ChannelBusFrac,
+		})
+	}
+
+	// Fig 14 (+ utilization summaries on amazon).
+	for _, d := range dataset.All() {
+		row := Fig14Row{Dataset: d.Name, Values: map[string]float64{}}
+		for _, k := range platform.All() {
+			r, err := o.simulate(k, d.Name, 0)
+			if err != nil {
+				return nil, err
+			}
+			row.Values[k.String()] = r.Throughput
+			if d.Name == "amazon" {
+				rep.Util[k.String()] = UtilSummary{
+					MeanDies: r.MeanDies, MeanChannels: r.MeanChannels, HopOverlap: r.HopOverlap,
+				}
+			}
+		}
+		rep.Fig14 = append(rep.Fig14, row)
+		rep.Fig14N = append(rep.Fig14N, Fig14Row{
+			Dataset: d.Name,
+			Values:  normalizeTo(row.Values, platform.CC.String()),
+		})
+	}
+
+	// Fig 18 sweeps.
+	for _, s := range Fig18Sweeps(o.Quick) {
+		series, err := RunSweep(o, s)
+		if err != nil {
+			return nil, err
+		}
+		ss := SweepSeries{Name: s.Name, Series: series}
+		for _, pt := range s.Points {
+			ss.Points = append(ss.Points, pt.Label)
+		}
+		rep.Fig18 = append(rep.Fig18, ss)
+	}
+
+	// Fig 19.
+	for _, k := range platform.All() {
+		r, err := o.simulate(k, "amazon", 0)
+		if err != nil {
+			return nil, err
+		}
+		rep.Fig19 = append(rep.Fig19, EnergyRow{
+			Platform: k.String(), Groups: r.EnergyGroup,
+			PowerW: r.AvgPowerW, Efficiency: r.Efficiency,
+		})
+	}
+
+	// Traditional SSD.
+	saved := o.Cfg.Flash.ReadLatency
+	o.Cfg.Flash.ReadLatency = 20 * sim.Microsecond
+	kinds := append([]platform.Kind{platform.CC}, platform.BGOnly()...)
+	for _, d := range dataset.All() {
+		tput := map[string]float64{}
+		for _, k := range kinds {
+			r, err := o.simulate(k, d.Name, 0)
+			if err != nil {
+				o.Cfg.Flash.ReadLatency = saved
+				return nil, err
+			}
+			tput[k.String()] = r.Throughput
+		}
+		for k, v := range normalizeTo(tput, platform.CC.String()) {
+			rep.Trad[k] += v / float64(len(dataset.All()))
+		}
+	}
+	o.Cfg.Flash.ReadLatency = saved
+
+	// Table IV.
+	sample := 200_000
+	if o.Quick {
+		sample = 40_000
+	}
+	for _, d := range dataset.All() {
+		st, err := dataset.FullScaleInflation(d, o.Cfg.Flash.PageSize, sample, o.Cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		rep.Table4 = append(rep.Table4, InflationRow{
+			Dataset: d.Name, RawGB: d.RawGB, Inflation: st.InflationRatio(),
+		})
+	}
+	return rep, nil
+}
+
+// WriteJSON emits the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

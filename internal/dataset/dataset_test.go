@@ -1,0 +1,138 @@
+package dataset
+
+import (
+	"testing"
+
+	"beacongnn/internal/graph"
+)
+
+func TestAllHasFivePaperDatasets(t *testing.T) {
+	all := All()
+	if len(all) != 5 {
+		t.Fatalf("got %d datasets, want 5", len(all))
+	}
+	want := []string{"reddit", "amazon", "movielens", "OGBN", "PPI"}
+	for i, n := range want {
+		if all[i].Name != n {
+			t.Errorf("dataset %d = %s, want %s", i, all[i].Name, n)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	d, err := ByName("amazon")
+	if err != nil || d.Name != "amazon" {
+		t.Fatalf("ByName(amazon) = %+v, %v", d, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestRawSizesMatchTableIV(t *testing.T) {
+	// The reconstructed node counts must reproduce Table IV's raw GB
+	// within 5 %.
+	for _, d := range All() {
+		gotGB := float64(d.FullNodes) * d.RawBytesPerNode() / 1e9
+		ratio := gotGB / d.RawGB
+		if ratio < 0.95 || ratio > 1.05 {
+			t.Errorf("%s: reconstructed raw %.1f GB vs Table IV %.1f GB", d.Name, gotGB, d.RawGB)
+		}
+	}
+}
+
+func TestOGBNDegreeMatchesPaper(t *testing.T) {
+	d, _ := ByName("OGBN")
+	if d.AvgDegree != 28 {
+		t.Fatalf("OGBN avg degree = %v; §VII-F states 28", d.AvgDegree)
+	}
+}
+
+func TestMaterializeStatistics(t *testing.T) {
+	d, _ := ByName("amazon")
+	inst, err := Materialize(d, 5000, 4096, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Graph.NumNodes() != 5000 {
+		t.Fatalf("nodes = %d", inst.Graph.NumNodes())
+	}
+	if inst.Graph.FeatureDim() != d.FeatureDim {
+		t.Fatalf("dim = %d", inst.Graph.FeatureDim())
+	}
+	avg := inst.Graph.AvgDegree()
+	if avg < d.AvgDegree*0.7 || avg > d.AvgDegree*1.3 {
+		t.Fatalf("avg degree %v, want ≈%v", avg, d.AvgDegree)
+	}
+	if inst.Build == nil || len(inst.Build.Pages) == 0 {
+		t.Fatal("no DirectGraph build")
+	}
+}
+
+func TestMaterializeDefaultScale(t *testing.T) {
+	d, _ := ByName("OGBN")
+	inst, err := Materialize(d, 0, 4096, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Graph.NumNodes() != 20000 {
+		t.Fatalf("default scale = %d", inst.Graph.NumNodes())
+	}
+}
+
+func TestMaterializeAllDatasetsSmall(t *testing.T) {
+	for _, d := range All() {
+		inst, err := Materialize(d, 2000, 4096, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		// Primary addresses must decode for a few nodes.
+		for v := 0; v < 10; v++ {
+			if _, err := inst.Build.ReadSection(inst.Build.NodeAddr(graph.NodeID(v))); err != nil {
+				t.Fatalf("%s node %d: %v", d.Name, v, err)
+			}
+		}
+	}
+}
+
+func TestFullScaleInflationOrdering(t *testing.T) {
+	// Table IV: OGBN inflates far more than every other dataset; the
+	// others stay modest. This is the shape check; exact values are in
+	// EXPERIMENTS.md.
+	ratios := map[string]float64{}
+	for _, d := range All() {
+		s, err := FullScaleInflation(d, 4096, 50_000, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		ratios[d.Name] = s.InflationRatio()
+	}
+	for name, r := range ratios {
+		if name == "OGBN" {
+			continue
+		}
+		if r >= ratios["OGBN"] {
+			t.Errorf("%s inflation %.3f ≥ OGBN %.3f; Table IV shape broken", name, r, ratios["OGBN"])
+		}
+		// Paper reports ≤ 4.1 % for these; our packer lands ≤ ~21 %
+		// (see EXPERIMENTS.md for the per-dataset gap discussion).
+		if r > 0.25 {
+			t.Errorf("%s inflation %.3f, want well below OGBN's ~32%%", name, r)
+		}
+	}
+	if ratios["OGBN"] < 0.25 || ratios["OGBN"] > 0.60 {
+		t.Errorf("OGBN inflation %.3f, paper reports 32.3%%", ratios["OGBN"])
+	}
+}
+
+func TestFullScaleInflationDeterministic(t *testing.T) {
+	d, _ := ByName("PPI")
+	a, err := FullScaleInflation(d, 4096, 20_000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := FullScaleInflation(d, 4096, 20_000, 5)
+	if a != b {
+		t.Fatal("inflation accounting not deterministic")
+	}
+}

@@ -1,0 +1,377 @@
+package directgraph
+
+import (
+	"fmt"
+
+	"beacongnn/internal/graph"
+)
+
+// PageAllocator hands out physical page numbers for DirectGraph pages.
+// In the full system the FTL reserves physical blocks and exposes their
+// pages here (Section VI-A); tests may use a simple counter.
+type PageAllocator interface {
+	// NextPage returns the next free physical page number.
+	NextPage() (uint32, error)
+}
+
+// SeqAllocator allocates pages sequentially from Next. Because the
+// flash geometry stripes consecutive page numbers across dies, this is
+// also what spreads DirectGraph across the whole backend.
+type SeqAllocator struct {
+	Next  uint32
+	Limit uint32 // exclusive; 0 = unlimited within uint32 range
+}
+
+// NextPage implements PageAllocator.
+func (a *SeqAllocator) NextPage() (uint32, error) {
+	if a.Limit != 0 && a.Next >= a.Limit {
+		return 0, fmt.Errorf("directgraph: page allocator exhausted at %d", a.Limit)
+	}
+	p := a.Next
+	a.Next++
+	return p, nil
+}
+
+// Stats summarizes a build for Table IV.
+type Stats struct {
+	Nodes          int
+	Edges          int64
+	PrimaryPages   int
+	SecondaryPages int
+	UsedBytes      int64 // bytes actually occupied by sections
+	TotalBytes     int64 // pages × page size
+	RawBytes       int64 // neighbor lists (4 B/edge) + features (2 B/dim)
+}
+
+// InflationRatio returns (DirectGraph size − raw size) / raw size,
+// the paper's Table IV metric.
+func (s Stats) InflationRatio() float64 {
+	if s.RawBytes == 0 {
+		return 0
+	}
+	return float64(s.TotalBytes-s.RawBytes) / float64(s.RawBytes)
+}
+
+// Build is a constructed DirectGraph: the per-node plans/addresses plus,
+// in materialized mode, the page images the simulated flash serves.
+type Build struct {
+	Layout Layout
+	Plans  []NodePlan // indexed by node id
+	Stats  Stats
+	Pages  map[uint32][]byte // nil in layout-only mode
+}
+
+// NodeAddr returns node v's primary section address.
+func (b *Build) NodeAddr(v graph.NodeID) Addr { return b.Plans[v].Primary }
+
+// PageNumbers returns the set of allocated physical pages, usable for
+// the Section VI-E security verification.
+func (b *Build) PageNumbers() map[uint32]bool {
+	set := make(map[uint32]bool, len(b.Pages))
+	for i := range b.Plans {
+		p := &b.Plans[i]
+		set[b.Layout.Page(p.Primary)] = true
+		for _, s := range p.Secondaries {
+			set[b.Layout.Page(s)] = true
+		}
+	}
+	return set
+}
+
+// openPage tracks the shared page currently being filled.
+type openPage struct {
+	num      uint32
+	used     int
+	sections int
+	valid    bool
+}
+
+func (op *openPage) gap(pageSize int) int { return pageSize - op.used }
+
+type builder struct {
+	layout Layout
+	alloc  PageAllocator
+	plans  []NodePlan
+	stats  Stats
+
+	openPrimary   openPage
+	openSecondary openPage
+}
+
+func (b *builder) newPage(primary bool) (uint32, error) {
+	n, err := b.alloc.NextPage()
+	if err != nil {
+		return 0, err
+	}
+	if primary {
+		b.stats.PrimaryPages++
+	} else {
+		b.stats.SecondaryPages++
+	}
+	return n, nil
+}
+
+// placeShared reserves size bytes in the open shared page of the given
+// kind, opening a fresh page if needed, and returns the section address
+// plus byte offset.
+func (b *builder) placeShared(size int, primary bool) (Addr, int, error) {
+	op := &b.openPrimary
+	if !primary {
+		op = &b.openSecondary
+	}
+	if !op.valid || op.gap(b.layout.PageSize) < size || op.sections >= b.layout.MaxSectionsPerPage() {
+		n, err := b.newPage(primary)
+		if err != nil {
+			return 0, 0, err
+		}
+		*op = openPage{num: n, valid: true}
+	}
+	addr := b.layout.MakeAddr(op.num, op.sections)
+	off := op.used
+	op.used += size
+	op.sections++
+	return addr, off, nil
+}
+
+// planBudget sizes a node's primary section under a byte budget,
+// spilling neighbors that do not fit into secondary sections. It
+// implements the paper's "a section grows until it fulfills its page"
+// policy generalized to shared pages: the primary consumes as much of
+// the budget as 4-byte alignment allows. ok is false when even an
+// inline-free primary (header + secondary pointers + feature) exceeds
+// the budget.
+func (l Layout) planBudget(degree, budget int) (p NodePlan, ok bool) {
+	p = NodePlan{Degree: degree, FullSecCount: l.SecondaryCapacity()}
+	flat := primaryHeaderLen + l.FeatureBytes() + degree*addrLen
+	if flat <= budget {
+		p.InlineCount = degree
+		p.PrimarySize = flat
+		return p, true
+	}
+	cs := l.SecondaryCapacity()
+	for s := 1; ; s++ {
+		fixed := primaryHeaderLen + s*addrLen + l.FeatureBytes()
+		if fixed > budget {
+			return p, false
+		}
+		ci := (budget - fixed) / addrLen
+		rem := degree - ci
+		if rem > s*cs {
+			continue
+		}
+		if rem <= 0 {
+			// Minimal s guarantees a non-empty final section (the flat
+			// case above catches rem ≤ 0 at s = 0).
+			return p, false
+		}
+		p.InlineCount = ci
+		p.SecCount = s
+		p.PrimarySize = fixed + ci*addrLen
+		p.LastSecCount = rem - (s-1)*cs
+		return p, true
+	}
+}
+
+// assign runs the metadata pass of Algorithm 1 over a degree sequence,
+// deciding every section's size and physical placement.
+func (b *builder) assign(degrees []int) error {
+	l := b.layout
+	b.plans = make([]NodePlan, len(degrees))
+	for v, deg := range degrees {
+		var plan NodePlan
+		flat := primaryHeaderLen + l.FeatureBytes() + deg*addrLen
+		switch {
+		case flat > l.PageSize:
+			// Dedicated full primary page with spill to secondaries.
+			var ok bool
+			plan, ok = l.planBudget(deg, l.PageSize)
+			if !ok {
+				return fmt.Errorf("directgraph: node %d degree %d overflows a %d B page's secondary address list", v, deg, l.PageSize)
+			}
+			n, err := b.newPage(true)
+			if err != nil {
+				return err
+			}
+			plan.Primary = l.MakeAddr(n, 0)
+			plan.PrimaryOffset = 0
+			plan.DedicatedPage = true
+		default:
+			// Shared page: place whole if it fits the open page's gap;
+			// otherwise trim the section to fill the gap exactly and
+			// spill the remainder (keeps primary pages ~100 % utilized,
+			// which is how Table IV's low inflation arises).
+			op := &b.openPrimary
+			gap := op.gap(l.PageSize)
+			if !op.valid || op.sections >= l.MaxSectionsPerPage() {
+				gap = 0
+			}
+			if flat <= gap {
+				plan, _ = l.planBudget(deg, flat)
+			} else if trimmed, ok := l.planBudget(deg, gap); ok && gap > 0 {
+				plan = trimmed
+			} else {
+				// Start a fresh page; the whole section fits there.
+				n, err := b.newPage(true)
+				if err != nil {
+					return err
+				}
+				*op = openPage{num: n, valid: true}
+				plan, _ = l.planBudget(deg, flat)
+			}
+			var err error
+			plan.Primary, plan.PrimaryOffset, err = b.placeSharedPrimary(plan.PrimarySize)
+			if err != nil {
+				return err
+			}
+		}
+		b.stats.UsedBytes += int64(plan.PrimarySize)
+
+		// Secondary sections: all but the last fill dedicated pages; the
+		// final partial section shares secondary pages first-fit.
+		if plan.SecCount > 0 {
+			plan.Secondaries = make([]Addr, plan.SecCount)
+			plan.SecOffsets = make([]int, plan.SecCount)
+			for s := 0; s < plan.SecCount; s++ {
+				count := plan.FullSecCount
+				if s == plan.SecCount-1 {
+					count = plan.LastSecCount
+				}
+				size := secondaryHeaderLen + count*addrLen
+				if s < plan.SecCount-1 || size == l.PageSize {
+					n, err := b.newPage(false)
+					if err != nil {
+						return err
+					}
+					plan.Secondaries[s] = l.MakeAddr(n, 0)
+					plan.SecOffsets[s] = 0
+				} else {
+					var err error
+					plan.Secondaries[s], plan.SecOffsets[s], err = b.placeShared(size, false)
+					if err != nil {
+						return err
+					}
+				}
+				b.stats.UsedBytes += int64(size)
+			}
+		}
+		b.plans[v] = plan
+		b.stats.Edges += int64(deg)
+	}
+	b.stats.Nodes = len(degrees)
+	pages := b.stats.PrimaryPages + b.stats.SecondaryPages
+	b.stats.TotalBytes = int64(pages) * int64(b.layout.PageSize)
+	b.stats.RawBytes = b.stats.Edges*4 + int64(b.stats.Nodes)*int64(b.layout.FeatureBytes())
+	return nil
+}
+
+// placeSharedPrimary places an already-sized primary section in the open
+// primary page (assign has ensured it fits).
+func (b *builder) placeSharedPrimary(size int) (Addr, int, error) {
+	return b.placeShared(size, true)
+}
+
+// BuildLayout runs only Algorithm 1's metadata pass over a degree
+// sequence — enough to compute addresses and Table IV inflation at full
+// dataset scale without materializing page bytes.
+func BuildLayout(l Layout, degrees []int, alloc PageAllocator) (*Build, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	b := &builder{layout: l, alloc: alloc}
+	if err := b.assign(degrees); err != nil {
+		return nil, err
+	}
+	return &Build{Layout: l, Plans: b.plans, Stats: b.stats}, nil
+}
+
+// BuildGraph runs the full Algorithm 1: metadata pass, then section
+// serialization into page images (the host-buffer construction of
+// Section VI-B). The returned Build's Pages hold what the flushed flash
+// blocks would contain.
+func BuildGraph(l Layout, g *graph.Graph, alloc PageAllocator) (*Build, error) {
+	if l.FeatureDim != g.FeatureDim() {
+		return nil, fmt.Errorf("directgraph: layout dim %d != graph dim %d", l.FeatureDim, g.FeatureDim())
+	}
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	degrees := make([]int, g.NumNodes())
+	for v := range degrees {
+		degrees[v] = g.Degree(graph.NodeID(v))
+	}
+	b := &builder{layout: l, alloc: alloc}
+	if err := b.assign(degrees); err != nil {
+		return nil, err
+	}
+	build := &Build{Layout: l, Plans: b.plans, Stats: b.stats, Pages: make(map[uint32][]byte)}
+
+	page := func(n uint32) []byte {
+		p, ok := build.Pages[n]
+		if !ok {
+			p = make([]byte, l.PageSize)
+			build.Pages[n] = p
+		}
+		return p
+	}
+	write := func(a Addr, off int, data []byte) error {
+		p := page(l.Page(a))
+		if off+len(data) > l.PageSize {
+			return fmt.Errorf("directgraph: page %d overflow at offset %d", l.Page(a), off)
+		}
+		copy(p[off:], data)
+		return nil
+	}
+
+	for v := 0; v < g.NumNodes(); v++ {
+		plan := &b.plans[v]
+		nbrs := g.Neighbors(graph.NodeID(v))
+		// Primary section.
+		buf := make([]byte, plan.PrimarySize)
+		buf[0] = SectionTypePrimary
+		putU16(buf, 2, plan.PrimarySize)
+		putU32(buf, 4, uint32(v))
+		putU32(buf, 8, uint32(plan.Degree))
+		putU16(buf, 12, plan.InlineCount)
+		putU16(buf, 14, plan.SecCount)
+		off := primaryHeaderLen
+		for _, sa := range plan.Secondaries {
+			putU32(buf, off, uint32(sa))
+			off += addrLen
+		}
+		for _, fb := range g.FeatureBits(graph.NodeID(v)) {
+			putU16(buf, off, int(fb))
+			off += 2
+		}
+		for i := 0; i < plan.InlineCount; i++ {
+			putU32(buf, off, uint32(b.plans[nbrs[i]].Primary))
+			off += addrLen
+		}
+		if err := write(plan.Primary, plan.PrimaryOffset, buf); err != nil {
+			return nil, err
+		}
+		// Secondary sections.
+		base := plan.InlineCount
+		for s := 0; s < plan.SecCount; s++ {
+			count := plan.FullSecCount
+			if s == plan.SecCount-1 {
+				count = plan.LastSecCount
+			}
+			sec := make([]byte, secondaryHeaderLen+count*addrLen)
+			sec[0] = SectionTypeSecondary
+			putU16(sec, 2, len(sec))
+			putU32(sec, 4, uint32(v))
+			putU32(sec, 8, uint32(base))
+			putU16(sec, 12, count)
+			so := secondaryHeaderLen
+			for i := 0; i < count; i++ {
+				putU32(sec, so, uint32(b.plans[nbrs[base+i]].Primary))
+				so += addrLen
+			}
+			if err := write(plan.Secondaries[s], plan.SecOffsets[s], sec); err != nil {
+				return nil, err
+			}
+			base += count
+		}
+	}
+	return build, nil
+}

@@ -1,0 +1,207 @@
+package directgraph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Errors returned by the decoder; the on-die sampler maps these to the
+// "stop immediately and return control to SSD firmware" behaviour of
+// Section VI-E.
+var (
+	ErrSectionNotFound = errors.New("directgraph: section not found in page")
+	ErrBadSectionType  = errors.New("directgraph: unexpected section type")
+	ErrCorruptSection  = errors.New("directgraph: corrupt section encoding")
+)
+
+// Section is a decoded page section. For primary sections the neighbor
+// addresses cover only the inline part; secondary addresses and the
+// total count allow the sampler to reach the remainder.
+type Section struct {
+	Type        byte
+	Length      int
+	NodeID      uint32
+	StartOffset int // byte offset inside the page
+
+	// Primary fields.
+	NeighborCount int
+	InlineCount   int
+	Secondaries   []Addr
+	FeatureBits   []uint16 // aliases nothing; copied out
+	Inline        []Addr
+
+	// Secondary fields.
+	BaseIndex int
+	Count     int
+	Entries   []Addr
+}
+
+// FindSection walks the page's section chain to the idx-th section and
+// decodes it — exactly what the die-level sampler's section iterator does
+// (Fig. 11). It validates headers as it goes (Section VI-E runtime check).
+func FindSection(l Layout, page []byte, idx int) (*Section, error) {
+	if len(page) != l.PageSize {
+		return nil, fmt.Errorf("%w: page length %d != %d", ErrCorruptSection, len(page), l.PageSize)
+	}
+	off := 0
+	for i := 0; ; i++ {
+		if off+commonHeaderLen > l.PageSize {
+			return nil, ErrSectionNotFound
+		}
+		typ := page[off]
+		if typ == SectionTypeEnd {
+			return nil, ErrSectionNotFound
+		}
+		if typ != SectionTypePrimary && typ != SectionTypeSecondary {
+			return nil, fmt.Errorf("%w: type byte %#x at offset %d", ErrBadSectionType, typ, off)
+		}
+		length := getU16(page, off+2)
+		if length < commonHeaderLen || off+length > l.PageSize {
+			return nil, fmt.Errorf("%w: length %d at offset %d", ErrCorruptSection, length, off)
+		}
+		if i == idx {
+			return decodeSection(l, page, off, typ, length)
+		}
+		off += length
+	}
+}
+
+func decodeSection(l Layout, page []byte, off int, typ byte, length int) (*Section, error) {
+	s := &Section{Type: typ, Length: length, NodeID: getU32(page, off+4), StartOffset: off}
+	switch typ {
+	case SectionTypePrimary:
+		if length < primaryHeaderLen {
+			return nil, fmt.Errorf("%w: primary too short (%d)", ErrCorruptSection, length)
+		}
+		s.NeighborCount = int(getU32(page, off+8))
+		s.InlineCount = getU16(page, off+12)
+		secCount := getU16(page, off+14)
+		need := primaryHeaderLen + secCount*addrLen + l.FeatureBytes() + s.InlineCount*addrLen
+		if need != length {
+			return nil, fmt.Errorf("%w: primary length %d, computed %d", ErrCorruptSection, length, need)
+		}
+		p := off + primaryHeaderLen
+		s.Secondaries = make([]Addr, secCount)
+		for i := range s.Secondaries {
+			s.Secondaries[i] = Addr(getU32(page, p))
+			p += addrLen
+		}
+		s.FeatureBits = make([]uint16, l.FeatureDim)
+		for i := range s.FeatureBits {
+			s.FeatureBits[i] = uint16(getU16(page, p))
+			p += 2
+		}
+		s.Inline = make([]Addr, s.InlineCount)
+		for i := range s.Inline {
+			s.Inline[i] = Addr(getU32(page, p))
+			p += addrLen
+		}
+	case SectionTypeSecondary:
+		if length < secondaryHeaderLen {
+			return nil, fmt.Errorf("%w: secondary too short (%d)", ErrCorruptSection, length)
+		}
+		s.BaseIndex = int(getU32(page, off+8))
+		s.Count = getU16(page, off+12)
+		if secondaryHeaderLen+s.Count*addrLen != length {
+			return nil, fmt.Errorf("%w: secondary length %d, count %d", ErrCorruptSection, length, s.Count)
+		}
+		p := off + secondaryHeaderLen
+		s.Entries = make([]Addr, s.Count)
+		for i := range s.Entries {
+			s.Entries[i] = Addr(getU32(page, p))
+			p += addrLen
+		}
+	}
+	return s, nil
+}
+
+// SectionsInPage counts the valid sections in a page.
+func SectionsInPage(l Layout, page []byte) (int, error) {
+	n := 0
+	off := 0
+	for off+commonHeaderLen <= l.PageSize {
+		typ := page[off]
+		if typ == SectionTypeEnd {
+			break
+		}
+		if typ != SectionTypePrimary && typ != SectionTypeSecondary {
+			return n, fmt.Errorf("%w: type %#x", ErrBadSectionType, typ)
+		}
+		length := getU16(page, off+2)
+		if length < commonHeaderLen || off+length > l.PageSize {
+			return n, fmt.Errorf("%w: length %d", ErrCorruptSection, length)
+		}
+		n++
+		off += length
+	}
+	return n, nil
+}
+
+// Verify performs the firmware's security validation of Section VI-E on
+// a materialized build: every embedded section address (inline neighbors,
+// secondary pointers) must land inside the set of pages allocated to this
+// DirectGraph, and every referenced section must decode as the expected
+// type. It returns the first violation found.
+func Verify(b *Build) error {
+	if b.Pages == nil {
+		return errors.New("directgraph: Verify requires a materialized build")
+	}
+	allowed := b.PageNumbers()
+	check := func(a Addr, wantType byte) error {
+		pn := b.Layout.Page(a)
+		if !allowed[pn] {
+			return fmt.Errorf("directgraph: address %#x escapes allocated blocks (page %d)", uint32(a), pn)
+		}
+		page, ok := b.Pages[pn]
+		if !ok {
+			return fmt.Errorf("directgraph: address %#x points to unwritten page %d", uint32(a), pn)
+		}
+		sec, err := FindSection(b.Layout, page, b.Layout.Section(a))
+		if err != nil {
+			return fmt.Errorf("directgraph: address %#x: %w", uint32(a), err)
+		}
+		if sec.Type != wantType {
+			return fmt.Errorf("directgraph: address %#x has type %d, want %d", uint32(a), sec.Type, wantType)
+		}
+		return nil
+	}
+	for v := range b.Plans {
+		plan := &b.Plans[v]
+		sec, err := b.section(plan.Primary)
+		if err != nil {
+			return fmt.Errorf("node %d primary: %w", v, err)
+		}
+		for _, a := range sec.Inline {
+			if err := check(a, SectionTypePrimary); err != nil {
+				return fmt.Errorf("node %d inline: %w", v, err)
+			}
+		}
+		for _, sa := range sec.Secondaries {
+			if err := check(sa, SectionTypeSecondary); err != nil {
+				return fmt.Errorf("node %d secondary ptr: %w", v, err)
+			}
+			ss, err := b.section(sa)
+			if err != nil {
+				return err
+			}
+			for _, a := range ss.Entries {
+				if err := check(a, SectionTypePrimary); err != nil {
+					return fmt.Errorf("node %d secondary entry: %w", v, err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// section decodes the section at address a from the build's pages.
+func (b *Build) section(a Addr) (*Section, error) {
+	page, ok := b.Pages[b.Layout.Page(a)]
+	if !ok {
+		return nil, fmt.Errorf("directgraph: page %d not materialized", b.Layout.Page(a))
+	}
+	return FindSection(b.Layout, page, b.Layout.Section(a))
+}
+
+// ReadSection is the exported accessor used by the simulated samplers.
+func (b *Build) ReadSection(a Addr) (*Section, error) { return b.section(a) }

@@ -1,0 +1,72 @@
+package directgraph
+
+import (
+	"testing"
+
+	"beacongnn/internal/graph"
+)
+
+// FuzzFindSection hardens the page decoder — the exact code path the
+// on-die sampler runs against whatever bytes sit in the cache register.
+// It must reject arbitrary corruption with an error, never a panic or
+// an out-of-bounds read (Section VI-E's "stop immediately" behaviour).
+func FuzzFindSection(f *testing.F) {
+	l := Layout{PageSize: 1024, FeatureDim: 4}
+	g, err := graph.Generate(graph.GenSpec{Nodes: 60, AvgDegree: 8, FeatureDim: 4, PowerLaw: 2.0, Seed: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	b, err := BuildGraph(l, g, &SeqAllocator{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for pn := range b.Pages {
+		f.Add(b.Pages[pn], 0)
+		break
+	}
+	f.Add(make([]byte, 1024), 3)
+	f.Fuzz(func(t *testing.T, page []byte, idx int) {
+		if len(page) != l.PageSize {
+			// Wrong-size pages must be rejected cleanly too.
+			if _, err := FindSection(l, page, idx&0xF); err == nil {
+				t.Fatal("wrong-size page accepted")
+			}
+			return
+		}
+		sec, err := FindSection(l, page, idx&0xF)
+		if err != nil {
+			return
+		}
+		// Anything accepted must be internally consistent.
+		if sec.Length < commonHeaderLen || sec.StartOffset+sec.Length > l.PageSize {
+			t.Fatalf("accepted section with bad bounds: %+v", sec)
+		}
+		switch sec.Type {
+		case SectionTypePrimary:
+			if len(sec.Inline) != sec.InlineCount || len(sec.FeatureBits) != l.FeatureDim {
+				t.Fatalf("inconsistent primary decode: %+v", sec)
+			}
+		case SectionTypeSecondary:
+			if len(sec.Entries) != sec.Count {
+				t.Fatalf("inconsistent secondary decode: %+v", sec)
+			}
+		default:
+			t.Fatalf("accepted unknown type %d", sec.Type)
+		}
+	})
+}
+
+// FuzzSectionsInPage must likewise never panic on corrupt pages.
+func FuzzSectionsInPage(f *testing.F) {
+	l := Layout{PageSize: 512, FeatureDim: 2}
+	f.Add(make([]byte, 512))
+	f.Fuzz(func(t *testing.T, page []byte) {
+		if len(page) != l.PageSize {
+			return
+		}
+		n, _ := SectionsInPage(l, page)
+		if n < 0 || n > l.PageSize/commonHeaderLen {
+			t.Fatalf("implausible section count %d", n)
+		}
+	})
+}

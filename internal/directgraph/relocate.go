@@ -1,0 +1,69 @@
+package directgraph
+
+import "fmt"
+
+// Relocate shifts every physical page number in the build by delta —
+// the address-patching half of Section VI-F's wear-levelling
+// reclamation, where DirectGraph migrates to clean blocks "while
+// updating the embedded physical addresses to these new locations".
+// Plans, the page map, and all addresses embedded in page bytes are
+// rewritten in place.
+func Relocate(b *Build, delta uint32) error {
+	l := b.Layout
+	shift := func(a Addr) Addr {
+		return l.MakeAddr(l.Page(a)+delta, l.Section(a))
+	}
+	for i := range b.Plans {
+		p := &b.Plans[i]
+		p.Primary = shift(p.Primary)
+		for j := range p.Secondaries {
+			p.Secondaries[j] = shift(p.Secondaries[j])
+		}
+	}
+	if b.Pages == nil {
+		return nil
+	}
+	moved := make(map[uint32][]byte, len(b.Pages))
+	for pn, page := range b.Pages {
+		// Patch embedded addresses section by section.
+		off := 0
+		for off+commonHeaderLen <= l.PageSize {
+			typ := page[off]
+			if typ == SectionTypeEnd {
+				break
+			}
+			length := getU16(page, off+2)
+			if length < commonHeaderLen || off+length > l.PageSize {
+				return fmt.Errorf("directgraph: corrupt section during relocation (page %d offset %d)", pn, off)
+			}
+			switch typ {
+			case SectionTypePrimary:
+				inline := getU16(page, off+12)
+				secCount := getU16(page, off+14)
+				p := off + primaryHeaderLen
+				for i := 0; i < secCount; i++ {
+					putU32(page, p, uint32(shift(Addr(getU32(page, p)))))
+					p += addrLen
+				}
+				p += l.FeatureBytes()
+				for i := 0; i < inline; i++ {
+					putU32(page, p, uint32(shift(Addr(getU32(page, p)))))
+					p += addrLen
+				}
+			case SectionTypeSecondary:
+				count := getU16(page, off+12)
+				p := off + secondaryHeaderLen
+				for i := 0; i < count; i++ {
+					putU32(page, p, uint32(shift(Addr(getU32(page, p)))))
+					p += addrLen
+				}
+			default:
+				return fmt.Errorf("directgraph: unknown section type %#x during relocation", typ)
+			}
+			off += length
+		}
+		moved[pn+delta] = page
+	}
+	b.Pages = moved
+	return nil
+}

@@ -1,0 +1,165 @@
+// Package energy accumulates per-component energy during a simulation,
+// reproducing the paper's Figure 19 breakdown and efficiency metrics.
+// Constants live in config.Energy; this package only does bookkeeping.
+package energy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"beacongnn/internal/config"
+	"beacongnn/internal/sim"
+)
+
+// Component identifies an energy bucket. The grouping follows Figure 19:
+// flash backend, SSD frontend (DRAM + controller), accelerator compute,
+// and external transfer (PCIe + host).
+type Component string
+
+// Energy buckets.
+const (
+	FlashRead    Component = "flash_read"    // page senses
+	FlashSample  Component = "flash_sample"  // on-die sampler ops
+	ChannelXfer  Component = "channel_xfer"  // flash channel bus
+	Router       Component = "router"        // channel-level command routing
+	SSDDRAM      Component = "ssd_dram"      // SSD-internal DRAM traffic
+	EmbeddedCore Component = "embedded_core" // firmware processing
+	AccelCompute Component = "accel"         // spatial accelerator / TPU
+	PCIe         Component = "pcie"          // external bus transfer
+	HostCPU      Component = "host_cpu"      // host-side processing
+	HostDRAM     Component = "host_dram"     // host memory traffic
+	Static       Component = "static"        // controller + DRAM background
+)
+
+// Meter accumulates joules per component.
+type Meter struct {
+	cfg    config.Energy
+	joules map[Component]float64
+}
+
+// NewMeter returns a meter using the given constants.
+func NewMeter(cfg config.Energy) *Meter {
+	return &Meter{cfg: cfg, joules: make(map[Component]float64)}
+}
+
+// Add deposits j joules into the component bucket.
+func (m *Meter) Add(c Component, j float64) { m.joules[c] += j }
+
+// Convenience depositors translating events into joules.
+
+// FlashReadPage records one page sense.
+func (m *Meter) FlashReadPage() { m.Add(FlashRead, m.cfg.FlashReadPage) }
+
+// FlashSampleOp records one on-die sampler invocation.
+func (m *Meter) FlashSampleOp() { m.Add(FlashSample, m.cfg.FlashSampleOp) }
+
+// ChannelBytes records n bytes on a flash channel bus.
+func (m *Meter) ChannelBytes(n int) { m.Add(ChannelXfer, float64(n)*m.cfg.ChannelPerByte) }
+
+// RouterCmd records one routed sampling command.
+func (m *Meter) RouterCmd() { m.Add(Router, m.cfg.RouterPerCmd) }
+
+// DRAMBytes records n bytes of SSD DRAM traffic.
+func (m *Meter) DRAMBytes(n int) { m.Add(SSDDRAM, float64(n)*m.cfg.DRAMPerByte) }
+
+// PCIeBytes records n bytes over PCIe.
+func (m *Meter) PCIeBytes(n int) { m.Add(PCIe, float64(n)*m.cfg.PCIePerByte) }
+
+// HostDRAMBytes records n bytes through host memory.
+func (m *Meter) HostDRAMBytes(n int) { m.Add(HostDRAM, float64(n)*m.cfg.HostDRAMPerByte) }
+
+// CoreBusy records t of busy time on one embedded core.
+func (m *Meter) CoreBusy(t sim.Time) { m.Add(EmbeddedCore, t.Seconds()*m.cfg.CorePerSecond) }
+
+// HostBusy records t of busy host-CPU time.
+func (m *Meter) HostBusy(t sim.Time) { m.Add(HostCPU, t.Seconds()*m.cfg.HostCPUPerSecond) }
+
+// AccelMACs records n multiply-accumulates plus b bytes of SRAM traffic.
+func (m *Meter) AccelMACs(n int64, b int64) {
+	m.Add(AccelCompute, float64(n)*m.cfg.AccelPerMAC+float64(b)*m.cfg.AccelSRAMPerByte)
+}
+
+// FinishStatic charges background power for the elapsed simulated time.
+func (m *Meter) FinishStatic(elapsed sim.Time) {
+	m.Add(Static, elapsed.Seconds()*m.cfg.StaticWatts)
+}
+
+// Total returns the summed energy in joules.
+func (m *Meter) Total() float64 {
+	t := 0.0
+	for _, j := range m.joules {
+		t += j
+	}
+	return t
+}
+
+// Of returns one bucket's joules.
+func (m *Meter) Of(c Component) float64 { return m.joules[c] }
+
+// Breakdown returns components sorted by descending energy.
+func (m *Meter) Breakdown() []Share {
+	total := m.Total()
+	out := make([]Share, 0, len(m.joules))
+	for c, j := range m.joules {
+		s := Share{Component: c, Joules: j}
+		if total > 0 {
+			s.Fraction = j / total
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Joules != out[j].Joules {
+			return out[i].Joules > out[j].Joules
+		}
+		return out[i].Component < out[j].Component
+	})
+	return out
+}
+
+// Share is one component's portion of total energy.
+type Share struct {
+	Component Component
+	Joules    float64
+	Fraction  float64
+}
+
+// GroupFractions aggregates buckets into the paper's Figure 19 groups —
+// flash senses, internal page/result movement ("transfer"), controller
+// frontend, accelerator compute, and external (PCIe + host) traffic —
+// and returns each group's share of total energy.
+func (m *Meter) GroupFractions() map[string]float64 {
+	groups := map[Component]string{
+		FlashRead: "flash", FlashSample: "flash",
+		ChannelXfer: "transfer", Router: "transfer", SSDDRAM: "transfer",
+		EmbeddedCore: "frontend", Static: "frontend",
+		AccelCompute: "accel",
+		PCIe:         "external", HostCPU: "external", HostDRAM: "external",
+	}
+	total := m.Total()
+	out := map[string]float64{}
+	if total == 0 {
+		return out
+	}
+	for c, j := range m.joules {
+		out[groups[c]] += j / total
+	}
+	return out
+}
+
+// AvgPower returns the mean power over the elapsed time, in watts.
+func (m *Meter) AvgPower(elapsed sim.Time) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return m.Total() / elapsed.Seconds()
+}
+
+// String renders the breakdown for reports.
+func (m *Meter) String() string {
+	var b strings.Builder
+	for _, s := range m.Breakdown() {
+		fmt.Fprintf(&b, "%-14s %10.3f mJ  %5.1f%%\n", s.Component, s.Joules*1e3, s.Fraction*100)
+	}
+	return b.String()
+}

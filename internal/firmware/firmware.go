@@ -1,0 +1,159 @@
+// Package firmware models the SSD embedded processor: a pool of cores
+// executing the flash firmware's control-plane functions (Section
+// II-B2) — host I/O polling, FTL translation, flash-I/O scheduling,
+// result parsing, and (in BG-1/BG-DG) software neighbor sampling — plus
+// the firmware GNN engine of Section VI-D that pipelines data
+// preparation with GNN computation across mini-batches.
+//
+// Every operation occupies a core for a configured cost; core
+// contention is exactly what caps BG-SP/BG-DGSP throughput in the
+// paper, and what the BG-2 hardware router removes from the path.
+package firmware
+
+import (
+	"fmt"
+
+	"beacongnn/internal/config"
+	"beacongnn/internal/sim"
+)
+
+// Processor is the embedded-core pool.
+type Processor struct {
+	k     *sim.Kernel
+	cfg   config.Firmware
+	cores *sim.Server
+	busy  sim.Time // accumulated core-busy time (all cores)
+
+	// OnBusy, when set, receives per-op core time for energy accounting.
+	OnBusy func(t sim.Time)
+}
+
+// NewProcessor returns a core pool with cfg.Cores parallel cores.
+func NewProcessor(k *sim.Kernel, cfg config.Firmware) (*Processor, error) {
+	if cfg.Cores <= 0 {
+		return nil, fmt.Errorf("firmware: cores must be positive, got %d", cfg.Cores)
+	}
+	return &Processor{k: k, cfg: cfg, cores: sim.NewServer(k, cfg.Cores)}, nil
+}
+
+// Config returns the firmware configuration.
+func (p *Processor) Config() config.Firmware { return p.cfg }
+
+// BusyTime returns total core-busy time accumulated so far.
+func (p *Processor) BusyTime() sim.Time { return p.busy }
+
+// QueueLen returns requests waiting for a core.
+func (p *Processor) QueueLen() int { return p.cores.QueueLen() }
+
+// Do occupies one core for cost, then runs done.
+func (p *Processor) Do(cost sim.Time, done func()) {
+	p.busy += cost
+	if p.OnBusy != nil {
+		p.OnBusy(cost)
+	}
+	p.cores.Submit(cost, done)
+}
+
+// Poll models the I/O poller picking up or completing one host request.
+func (p *Processor) Poll(done func()) { p.Do(p.cfg.PollCost, done) }
+
+// Translate models one FTL LPA→PPA lookup.
+func (p *Processor) Translate(done func()) { p.Do(p.cfg.TranslateCost, done) }
+
+// FlashCmd models the flash I/O scheduler handling one flash command:
+// request-queue management, DMA configuration, and status polling.
+func (p *Processor) FlashCmd(done func()) { p.Do(p.cfg.FlashCmdCost, done) }
+
+// ParseResult models classifying one sampling result landed in DRAM.
+func (p *Processor) ParseResult(done func()) { p.Do(p.cfg.ResultParseCost, done) }
+
+// SampleNodes models firmware-based neighbor sampling of n neighbors
+// from one node's list (the SmartSage/BG-1 offload path).
+func (p *Processor) SampleNodes(n int, done func()) {
+	p.Do(p.cfg.SampleCostFixed+sim.Time(n)*p.cfg.SampleCostPerNode, done)
+}
+
+// Engine is the firmware GNN engine (Section VI-D): it schedules
+// mini-batches so that data preparation of batch i+1 overlaps GNN
+// computation of batch i, keeping the flash backend and the spatial
+// accelerator busy simultaneously.
+type Engine struct {
+	k         *sim.Kernel
+	Pipelined bool
+}
+
+// NewEngine returns a batch scheduler. Pipelined=false degenerates to
+// strict prep→compute→prep ordering (the ablation in bench tests).
+func NewEngine(k *sim.Kernel, pipelined bool) *Engine {
+	return &Engine{k: k, Pipelined: pipelined}
+}
+
+// Run schedules numBatches batches. prep(i, done) must start batch i's
+// data preparation and call done on completion; compute likewise. When
+// pipelined, prep(i+1) starts as soon as prep(i) finishes (the backend
+// is free), while compute(i) additionally waits for compute(i−1)'s
+// completion (one accelerator). allDone fires after the last compute.
+func (e *Engine) Run(numBatches int, prep, compute func(i int, done func()), allDone func()) {
+	if numBatches <= 0 {
+		if allDone != nil {
+			allDone()
+		}
+		return
+	}
+	prepDone := make([]bool, numBatches)
+	compDone := make([]bool, numBatches)
+	compStarted := make([]bool, numBatches)
+
+	var tryCompute func(i int)
+
+	tryCompute = func(i int) {
+		if i >= numBatches || compStarted[i] || !prepDone[i] {
+			return
+		}
+		if i > 0 && !compDone[i-1] {
+			return
+		}
+		compStarted[i] = true
+		compute(i, func() {
+			compDone[i] = true
+			if i == numBatches-1 {
+				if allDone != nil {
+					allDone()
+				}
+				return
+			}
+			tryCompute(i + 1)
+		})
+	}
+	if e.Pipelined {
+		var startPrep func(i int)
+		startPrep = func(i int) {
+			prep(i, func() {
+				prepDone[i] = true
+				tryCompute(i)
+				if i+1 < numBatches {
+					startPrep(i + 1)
+				}
+			})
+		}
+		startPrep(0)
+		return
+	}
+	// Serial mode: chain prep(i) → compute(i) → prep(i+1).
+	var serial func(i int)
+	serial = func(i int) {
+		prep(i, func() {
+			prepDone[i] = true
+			compStarted[i] = true
+			compute(i, func() {
+				compDone[i] = true
+				if i+1 < numBatches {
+					serial(i + 1)
+				} else if allDone != nil {
+					allDone()
+				}
+			})
+		})
+	}
+	serial(0)
+}

@@ -1,0 +1,250 @@
+// Package flash models the SSD's flash backend: channels, dies, and
+// their timing (Section II-B). Dies and channel buses are contended
+// resources; a page read occupies its die for the sense latency (3 µs
+// ULL / 20 µs traditional) and the channel for the transfer time of
+// whatever is moved off the die — a full page on conventional paths, or
+// only sampled results when die-level samplers are present (Section V).
+//
+// The package also provides the Figure 7a microbenchmark showing why
+// page-granular channel transfer throttles ULL flash.
+package flash
+
+import (
+	"fmt"
+
+	"beacongnn/internal/config"
+	"beacongnn/internal/sim"
+)
+
+// Geometry maps physical page numbers onto channels and dies.
+// Consecutive pages stripe across channels first, then dies within a
+// channel, maximizing parallelism for sequential allocations.
+type Geometry struct {
+	cfg config.Flash
+}
+
+// NewGeometry returns the mapping for the given flash config.
+func NewGeometry(cfg config.Flash) Geometry { return Geometry{cfg: cfg} }
+
+// Config returns the underlying flash configuration.
+func (g Geometry) Config() config.Flash { return g.cfg }
+
+// Channel returns the channel a page lives on.
+func (g Geometry) Channel(page uint32) int { return int(page) % g.cfg.Channels }
+
+// DieInChannel returns the die index within the page's channel.
+func (g Geometry) DieInChannel(page uint32) int {
+	return (int(page) / g.cfg.Channels) % g.cfg.DiesPerChannel
+}
+
+// GlobalDie returns the page's die index in [0, TotalDies).
+func (g Geometry) GlobalDie(page uint32) int {
+	return g.Channel(page)*g.cfg.DiesPerChannel + g.DieInChannel(page)
+}
+
+// BlockOf returns the page's block index within its die.
+func (g Geometry) BlockOf(page uint32) int {
+	perDie := int(page) / (g.cfg.Channels * g.cfg.DiesPerChannel)
+	return perDie / g.cfg.PagesPerBlock
+}
+
+// Backend is the simulated flash array. Each die exposes PlanesPerDie
+// parallel sense units (Fig. 10: a two-plane die senses both planes
+// concurrently) behind one shared sampler/control unit — sensing
+// parallelizes within a die, on-die sampling does not. Each channel bus
+// is a width-1 server.
+type Backend struct {
+	k        *sim.Kernel
+	cfg      config.Flash
+	geom     Geometry
+	dies     []*sim.Server // width = PlanesPerDie: the plane sense units
+	samplers []*sim.Server // width = 1: the shared per-die control logic
+	channels []*sim.Server
+	DieUtil  *sim.Utilization
+	ChanUtil *sim.Utilization
+
+	reads     uint64
+	programs  uint64
+	erases    uint64
+	busBytes  uint64
+	WaitStats sim.WaitStats // queueing before dies (wait_before_flash)
+
+	// OnRead and OnTransfer, when set, receive energy-accounting events.
+	OnRead     func()
+	OnTransfer func(bytes int)
+}
+
+// New builds a backend on the kernel. timelinePoints bounds the
+// utilization timelines kept for Figure 15 (0 disables them).
+func New(k *sim.Kernel, cfg config.Flash, timelinePoints int) (*Backend, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	b := &Backend{
+		k: k, cfg: cfg, geom: NewGeometry(cfg),
+		DieUtil:  sim.NewUtilization(timelinePoints),
+		ChanUtil: sim.NewUtilization(timelinePoints),
+	}
+	planes := cfg.PlanesPerDie
+	if planes < 1 {
+		planes = 1
+	}
+	b.dies = make([]*sim.Server, cfg.TotalDies())
+	b.samplers = make([]*sim.Server, cfg.TotalDies())
+	for i := range b.dies {
+		b.dies[i] = sim.NewServer(k, planes)
+		b.dies[i].SetUtilization(b.DieUtil)
+		b.samplers[i] = sim.NewServer(k, 1)
+	}
+	b.channels = make([]*sim.Server, cfg.Channels)
+	for i := range b.channels {
+		b.channels[i] = sim.NewServer(k, 1)
+		b.channels[i].SetUtilization(b.ChanUtil)
+	}
+	return b, nil
+}
+
+// Geometry returns the page-to-die mapping.
+func (b *Backend) Geometry() Geometry { return b.geom }
+
+// Config returns the flash configuration.
+func (b *Backend) Config() config.Flash { return b.cfg }
+
+// Reads returns the number of page senses performed.
+func (b *Backend) Reads() uint64 { return b.reads }
+
+// BusBytes returns total bytes moved over all channel buses.
+func (b *Backend) BusBytes() uint64 { return b.busBytes }
+
+// ReadPage senses the page on one of its die's planes. dieExtra adds
+// on-die processing time (the die-level sampler), which runs on the
+// die's single shared sampler after the sense — two planes can sense in
+// parallel, but their sampler invocations serialize (Fig. 10).
+// senseStart fires when a plane begins the sense (for wait-time
+// accounting), done when the result is ready in the data register.
+// Neither transfers anything over the channel; use Transfer for that.
+func (b *Backend) ReadPage(page uint32, dieExtra sim.Time, senseStart func(sim.Time), done func()) {
+	die := b.geom.GlobalDie(page)
+	b.reads++
+	if b.OnRead != nil {
+		b.OnRead()
+	}
+	arrived := b.k.Now()
+	b.dies[die].SubmitFull(b.cfg.ReadLatency, func(start sim.Time) {
+		b.WaitStats.Observe(start - arrived)
+		if senseStart != nil {
+			senseStart(start)
+		}
+	}, func() {
+		if dieExtra <= 0 {
+			if done != nil {
+				done()
+			}
+			return
+		}
+		b.samplers[die].Submit(dieExtra, done)
+	})
+}
+
+// Transfer moves n bytes over the page's channel bus (plus the fixed
+// command overhead) and calls done when the bus releases the data.
+func (b *Backend) Transfer(page uint32, n int, done func()) {
+	b.TransferOnChannel(b.geom.Channel(page), n, done)
+}
+
+// TransferOnChannel is Transfer with an explicit channel index.
+func (b *Backend) TransferOnChannel(ch, n int, done func()) {
+	b.busBytes += uint64(n)
+	if b.OnTransfer != nil {
+		b.OnTransfer(n)
+	}
+	b.channels[ch].Submit(b.cfg.TransferTime(n), done)
+}
+
+// IssueCommand occupies the page's channel bus for the command/address
+// cycles of one flash command (how sampling commands reach dies).
+func (b *Backend) IssueCommand(page uint32, done func()) {
+	b.channels[b.geom.Channel(page)].Submit(b.cfg.CmdOverhead, done)
+}
+
+// ProgramPage writes a page: channel transfer of the full page followed
+// by the program latency on the die.
+func (b *Backend) ProgramPage(page uint32, done func()) {
+	b.programs++
+	die := b.geom.GlobalDie(page)
+	b.TransferOnChannel(b.geom.Channel(page), b.cfg.PageSize, func() {
+		b.dies[die].Submit(b.cfg.ProgramLatency, done)
+	})
+}
+
+// EraseBlock erases the block containing the page.
+func (b *Backend) EraseBlock(page uint32, done func()) {
+	b.erases++
+	b.dies[b.geom.GlobalDie(page)].Submit(b.cfg.EraseLatency, done)
+}
+
+// Counts reports (reads, programs, erases).
+func (b *Backend) Counts() (reads, programs, erases uint64) {
+	return b.reads, b.programs, b.erases
+}
+
+// DieQueueLen returns queued requests for the page's die (used by the
+// round-robin command issuer to find idle dies).
+func (b *Backend) DieQueueLen(page uint32) int {
+	d := b.dies[b.geom.GlobalDie(page)]
+	return d.Busy() + d.QueueLen()
+}
+
+// ContentionResult is the outcome of the Figure 7a microbenchmark.
+type ContentionResult struct {
+	ActiveDies     int
+	Throughput     float64  // page reads per second
+	AvgLatency     sim.Time // mean read completion latency
+	ChannelBusFrac float64  // channel bus utilization
+}
+
+// RunChannelContention reproduces Figure 7a: n dies on one channel read
+// full pages back-to-back for the given simulated duration. With ULL
+// sense latency far below the page transfer time, adding dies quickly
+// saturates the bus: throughput gains flatten while per-read latency
+// balloons.
+func RunChannelContention(cfg config.Flash, activeDies int, duration sim.Time) (ContentionResult, error) {
+	if activeDies < 1 || activeDies > cfg.DiesPerChannel {
+		return ContentionResult{}, fmt.Errorf("flash: active dies %d outside [1,%d]", activeDies, cfg.DiesPerChannel)
+	}
+	k := sim.New()
+	b, err := New(k, cfg, 0)
+	if err != nil {
+		return ContentionResult{}, err
+	}
+	var completed uint64
+	var totalLat sim.Time
+	// Use one page per die on channel 0; page p maps to channel p%C, so
+	// channel-0 pages are multiples of C with die index (p/C)%D.
+	var issue func(die int)
+	issue = func(die int) {
+		page := uint32(die * cfg.Channels)
+		start := k.Now()
+		b.ReadPage(page, 0, nil, func() {
+			b.Transfer(page, cfg.PageSize, func() {
+				completed++
+				totalLat += k.Now() - start
+				if k.Now() < duration {
+					issue(die)
+				}
+			})
+		})
+	}
+	for d := 0; d < activeDies; d++ {
+		issue(d)
+	}
+	k.Run()
+	end := k.Now()
+	res := ContentionResult{ActiveDies: activeDies}
+	if completed > 0 {
+		res.Throughput = float64(completed) / end.Seconds()
+		res.AvgLatency = totalLat / sim.Time(completed)
+	}
+	res.ChannelBusFrac = b.ChanUtil.Mean(end)
+	return res, nil
+}

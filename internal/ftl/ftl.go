@@ -1,0 +1,250 @@
+// Package ftl models the flash translation layer and the firmware-side
+// DirectGraph block management of Sections VI-A and VI-F: LPA→PPA
+// mapping for regular I/O, reservation of physical blocks for host
+// direct manipulation (bypassing the FTL), exemption of those blocks
+// from garbage collection, and the wear-levelling reclamation that
+// migrates DirectGraph when the P/E-count discrepancy grows too large.
+//
+// Reservation granularity is one block row: the same block index across
+// every die. A row's pages are exactly a contiguous range of global page
+// numbers under the stripe mapping, so DirectGraph built over reserved
+// rows automatically spreads across all channels and dies, and
+// reclamation moves it by a uniform page delta.
+package ftl
+
+import (
+	"fmt"
+
+	"beacongnn/internal/config"
+	"beacongnn/internal/flash"
+)
+
+// BlockID identifies a physical block globally: die index and the block
+// index within that die.
+type BlockID struct {
+	Die   int
+	Block int
+}
+
+// blockState tracks one physical block.
+type blockState struct {
+	eraseCount int
+	reserved   bool // pinned for DirectGraph, invisible to regular FTL
+	allocated  bool // holds regular mapped data
+}
+
+// FTL is the translation-layer state. It is a functional model (no
+// simulated time of its own); the timing cost of FTL work is charged to
+// firmware cores by the firmware package.
+type FTL struct {
+	cfg  config.Flash
+	geom flash.Geometry
+
+	mapping map[uint32]uint32 // LPA → PPA for regular I/O
+	blocks  map[BlockID]*blockState
+
+	reservedStart int // first reserved row
+	reservedRows  int // number of reserved rows (0 = none)
+
+	al *allocState // regular-path log allocator + GC state (gc.go)
+}
+
+// New returns an FTL over the given flash geometry.
+func New(cfg config.Flash) *FTL {
+	return &FTL{
+		cfg:     cfg,
+		geom:    flash.NewGeometry(cfg),
+		mapping: make(map[uint32]uint32),
+		blocks:  make(map[BlockID]*blockState),
+	}
+}
+
+func (f *FTL) block(id BlockID) *blockState {
+	b, ok := f.blocks[id]
+	if !ok {
+		b = &blockState{}
+		f.blocks[id] = b
+	}
+	return b
+}
+
+// rowPages is the number of global pages covered by one block row.
+func (f *FTL) rowPages() uint32 {
+	return uint32(f.cfg.TotalDies()) * uint32(f.cfg.PagesPerBlock)
+}
+
+// blockOfPage returns the physical block holding page p.
+func (f *FTL) blockOfPage(p uint32) BlockID {
+	return BlockID{Die: f.geom.GlobalDie(p), Block: f.geom.BlockOf(p)}
+}
+
+// Map records an LPA→PPA translation (regular write path). Mapping into
+// a reserved block is the isolation violation of Section VI-E and is
+// rejected.
+func (f *FTL) Map(lpa, ppa uint32) error {
+	id := f.blockOfPage(ppa)
+	if f.rowReserved(id.Block) {
+		return fmt.Errorf("ftl: PPA %d lies in reserved DirectGraph block %v", ppa, id)
+	}
+	f.block(id).allocated = true
+	f.mapping[lpa] = ppa
+	return nil
+}
+
+// Lookup translates an LPA, reporting whether it is mapped.
+func (f *FTL) Lookup(lpa uint32) (uint32, bool) {
+	ppa, ok := f.mapping[lpa]
+	return ppa, ok
+}
+
+// MappedCount returns the number of live LPA mappings.
+func (f *FTL) MappedCount() int { return len(f.mapping) }
+
+func (f *FTL) rowReserved(row int) bool {
+	return f.reservedRows > 0 && row >= f.reservedStart && row < f.reservedStart+f.reservedRows
+}
+
+// ReserveForPages pins enough block rows to hold pageCount DirectGraph
+// pages (Section VI-A) and returns the contiguous global page range
+// [first, first+count) the host may flush into. Reserving twice without
+// reclamation is an error: one DirectGraph per device.
+func (f *FTL) ReserveForPages(pageCount int) (first uint32, count uint32, err error) {
+	if f.reservedRows > 0 {
+		return 0, 0, fmt.Errorf("ftl: DirectGraph blocks already reserved")
+	}
+	if pageCount <= 0 {
+		return 0, 0, fmt.Errorf("ftl: page count must be positive, got %d", pageCount)
+	}
+	rp := int(f.rowPages())
+	rows := (pageCount + rp - 1) / rp
+	if rows > f.cfg.BlocksPerDie {
+		return 0, 0, fmt.Errorf("ftl: need %d rows, device has %d", rows, f.cfg.BlocksPerDie)
+	}
+	for r := 0; r < rows; r++ {
+		for d := 0; d < f.cfg.TotalDies(); d++ {
+			if f.block(BlockID{Die: d, Block: r}).allocated {
+				return 0, 0, fmt.Errorf("ftl: block row %d holds regular data", r)
+			}
+		}
+	}
+	f.reservedStart, f.reservedRows = 0, rows
+	return 0, uint32(rows) * f.rowPages(), nil
+}
+
+// ReservedBlocks returns all pinned DirectGraph blocks.
+func (f *FTL) ReservedBlocks() []BlockID {
+	out := make([]BlockID, 0, f.reservedRows*f.cfg.TotalDies())
+	for r := f.reservedStart; r < f.reservedStart+f.reservedRows; r++ {
+		for d := 0; d < f.cfg.TotalDies(); d++ {
+			out = append(out, BlockID{Die: d, Block: r})
+		}
+	}
+	return out
+}
+
+// IsReserved reports whether the page lies in a pinned block — the
+// firmware's write-destination check of Section VI-E.
+func (f *FTL) IsReserved(page uint32) bool {
+	return f.rowReserved(f.geom.BlockOf(page))
+}
+
+// Allocator returns a directgraph.PageAllocator dispensing the reserved
+// page range sequentially (striped across all dies by the geometry).
+func (f *FTL) Allocator() *ReservedAllocator {
+	start := uint32(f.reservedStart) * f.rowPages()
+	return &ReservedAllocator{
+		ftl:   f,
+		next:  start,
+		limit: start + uint32(f.reservedRows)*f.rowPages(),
+	}
+}
+
+// ReservedAllocator walks the reserved rows' pages in stripe order.
+type ReservedAllocator struct {
+	ftl         *FTL
+	next, limit uint32
+}
+
+// NextPage implements directgraph.PageAllocator.
+func (a *ReservedAllocator) NextPage() (uint32, error) {
+	if a.next >= a.limit {
+		return 0, fmt.Errorf("ftl: reserved DirectGraph region exhausted at page %d", a.limit)
+	}
+	p := a.next
+	a.next++
+	return p, nil
+}
+
+// RecordErase bumps a block's P/E count.
+func (f *FTL) RecordErase(id BlockID) { f.block(id).eraseCount++ }
+
+// EraseCount returns a block's P/E count.
+func (f *FTL) EraseCount(id BlockID) int { return f.block(id).eraseCount }
+
+// WearDiscrepancy returns the gap between the mean P/E count of regular
+// (touched) blocks and of reserved DirectGraph blocks — the trigger
+// metric for Section VI-F's reclamation.
+func (f *FTL) WearDiscrepancy() float64 {
+	var regSum, regN, resSum float64
+	for id, st := range f.blocks {
+		if f.rowReserved(id.Block) {
+			resSum += float64(st.eraseCount)
+		} else if st.allocated || st.eraseCount > 0 {
+			regSum += float64(st.eraseCount)
+			regN++
+		}
+	}
+	if regN == 0 {
+		return 0
+	}
+	resMean := 0.0
+	if n := f.reservedRows * f.cfg.TotalDies(); n > 0 {
+		resMean = resSum / float64(n)
+	}
+	return regSum/regN - resMean
+}
+
+// NeedsReclamation reports whether the wear gap exceeds the threshold.
+func (f *FTL) NeedsReclamation(threshold float64) bool {
+	return f.WearDiscrepancy() >= threshold
+}
+
+// ReclaimPlan describes a DirectGraph migration (Section VI-F): old
+// pinned rows rejoin regular FTL management, fresh rows are pinned, and
+// every embedded page number shifts by PageDelta.
+type ReclaimPlan struct {
+	OldFirstPage uint32
+	NewFirstPage uint32
+	PageDelta    uint32 // new = old + PageDelta
+	Rows         int
+}
+
+// PlanReclamation moves the reservation to the next free rows and
+// returns the migration plan. The caller (firmware) is responsible for
+// copying pages and patching embedded addresses; directgraph.Relocate
+// does the patching.
+func (f *FTL) PlanReclamation() (*ReclaimPlan, error) {
+	if f.reservedRows == 0 {
+		return nil, fmt.Errorf("ftl: nothing to reclaim")
+	}
+	rows := f.reservedRows
+	newStart := f.reservedStart + rows
+	if newStart+rows > f.cfg.BlocksPerDie {
+		return nil, fmt.Errorf("ftl: out of block rows for reclamation")
+	}
+	for r := newStart; r < newStart+rows; r++ {
+		for d := 0; d < f.cfg.TotalDies(); d++ {
+			if f.block(BlockID{Die: d, Block: r}).allocated {
+				return nil, fmt.Errorf("ftl: reclamation target row %d holds regular data", r)
+			}
+		}
+	}
+	plan := &ReclaimPlan{
+		OldFirstPage: uint32(f.reservedStart) * f.rowPages(),
+		NewFirstPage: uint32(newStart) * f.rowPages(),
+		Rows:         rows,
+	}
+	plan.PageDelta = plan.NewFirstPage - plan.OldFirstPage
+	f.reservedStart = newStart
+	return plan, nil
+}

@@ -1,0 +1,213 @@
+package ftl
+
+import (
+	"testing"
+
+	"beacongnn/internal/config"
+	"beacongnn/internal/dataset"
+	"beacongnn/internal/directgraph"
+	"beacongnn/internal/graph"
+)
+
+func newFTL() *FTL { return New(config.Default().Flash) }
+
+func TestMapLookup(t *testing.T) {
+	f := newFTL()
+	// Reserve first so reserved region exists; map outside it.
+	if _, _, err := f.ReserveForPages(100); err != nil {
+		t.Fatal(err)
+	}
+	outside := f.rowPages() * 2 // beyond the single reserved row
+	if err := f.Map(7, outside); err != nil {
+		t.Fatal(err)
+	}
+	ppa, ok := f.Lookup(7)
+	if !ok || ppa != outside {
+		t.Fatalf("lookup = %d,%v", ppa, ok)
+	}
+	if _, ok := f.Lookup(8); ok {
+		t.Fatal("unmapped LPA resolved")
+	}
+	if f.MappedCount() != 1 {
+		t.Fatalf("mapped = %d", f.MappedCount())
+	}
+}
+
+func TestMapIntoReservedRejected(t *testing.T) {
+	f := newFTL()
+	if _, _, err := f.ReserveForPages(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Map(1, 0); err == nil {
+		t.Fatal("mapping into reserved DirectGraph block accepted (isolation breach)")
+	}
+}
+
+func TestReserveForPagesRowGranularity(t *testing.T) {
+	f := newFTL()
+	first, count, err := f.ReserveForPages(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 0 {
+		t.Fatalf("first = %d", first)
+	}
+	if count != f.rowPages() { // rounded up to one full row
+		t.Fatalf("count = %d, want %d", count, f.rowPages())
+	}
+	if !f.IsReserved(0) || !f.IsReserved(count-1) {
+		t.Fatal("reserved range not marked")
+	}
+	if f.IsReserved(count) {
+		t.Fatal("page beyond range marked reserved")
+	}
+	blocks := f.ReservedBlocks()
+	if len(blocks) != config.Default().Flash.TotalDies() {
+		t.Fatalf("reserved %d blocks, want one per die", len(blocks))
+	}
+}
+
+func TestDoubleReserveRejected(t *testing.T) {
+	f := newFTL()
+	if _, _, err := f.ReserveForPages(5); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.ReserveForPages(5); err == nil {
+		t.Fatal("double reservation accepted")
+	}
+}
+
+func TestReserveTooLarge(t *testing.T) {
+	f := newFTL()
+	cfg := config.Default().Flash
+	if _, _, err := f.ReserveForPages(int(cfg.TotalBytes()/int64(cfg.PageSize)) + 1); err == nil {
+		t.Fatal("oversized reservation accepted")
+	}
+}
+
+func TestAllocatorDispensesReservedPages(t *testing.T) {
+	f := newFTL()
+	_, count, err := f.ReserveForPages(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := f.Allocator()
+	for i := uint32(0); i < count; i++ {
+		p, err := a.NextPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p != i {
+			t.Fatalf("page %d, want %d", p, i)
+		}
+		if !f.IsReserved(p) {
+			t.Fatalf("allocator handed out unreserved page %d", p)
+		}
+	}
+	if _, err := a.NextPage(); err == nil {
+		t.Fatal("allocator did not exhaust")
+	}
+}
+
+func TestAllocatorFeedsDirectGraphBuild(t *testing.T) {
+	f := newFTL()
+	if _, _, err := f.ReserveForPages(40_000); err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.Generate(graph.GenSpec{Nodes: 2000, AvgDegree: 20, FeatureDim: 16, PowerLaw: 2.0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := directgraph.BuildGraph(directgraph.Layout{PageSize: 4096, FeatureDim: 16}, g, f.Allocator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every DirectGraph page must be inside the reserved region — the
+	// Section VI-E flush check.
+	for pn := range b.PageNumbers() {
+		if !f.IsReserved(pn) {
+			t.Fatalf("DirectGraph page %d outside reserved blocks", pn)
+		}
+	}
+}
+
+func TestWearDiscrepancyAndReclamation(t *testing.T) {
+	f := newFTL()
+	_, count, err := f.ReserveForPages(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hammer regular blocks with erases.
+	regular := count + f.rowPages()*3
+	id := BlockID{Die: f.geom.GlobalDie(regular), Block: f.geom.BlockOf(regular)}
+	for i := 0; i < 50; i++ {
+		f.RecordErase(id)
+	}
+	if f.EraseCount(id) != 50 {
+		t.Fatalf("erase count = %d", f.EraseCount(id))
+	}
+	if !f.NeedsReclamation(40) {
+		t.Fatalf("discrepancy %.1f should trigger at threshold 40", f.WearDiscrepancy())
+	}
+	if f.NeedsReclamation(60) {
+		t.Fatal("threshold 60 should not trigger")
+	}
+	plan, err := f.PlanReclamation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.PageDelta != f.rowPages() {
+		t.Fatalf("delta = %d, want one row (%d)", plan.PageDelta, f.rowPages())
+	}
+	if f.IsReserved(plan.OldFirstPage) {
+		t.Fatal("old region still reserved")
+	}
+	if !f.IsReserved(plan.NewFirstPage) {
+		t.Fatal("new region not reserved")
+	}
+	// Old region becomes mappable again.
+	if err := f.Map(1, plan.OldFirstPage); err != nil {
+		t.Fatalf("old region not released: %v", err)
+	}
+}
+
+func TestReclamationWithoutReservation(t *testing.T) {
+	if _, err := newFTL().PlanReclamation(); err == nil {
+		t.Fatal("reclamation with no DirectGraph accepted")
+	}
+}
+
+func TestRelocatePatchesEmbeddedAddresses(t *testing.T) {
+	// End-to-end: build, reclaim, relocate, verify decode at new pages.
+	f := newFTL()
+	if _, _, err := f.ReserveForPages(20_000); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := dataset.Materialize(dataset.Desc{
+		Name: "t", AvgDegree: 15, MaxDegree: 200, FeatureDim: 8, PowerLaw: 2.0,
+	}, 1000, 4096, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := inst.Build
+	plan, err := f.PlanReclamation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := directgraph.Relocate(b, plan.PageDelta); err != nil {
+		t.Fatal(err)
+	}
+	// All sections must decode at their new addresses with intact links.
+	if err := directgraph.Verify(b); err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 50; v++ {
+		sec, err := b.ReadSection(b.NodeAddr(graph.NodeID(v)))
+		if err != nil {
+			t.Fatalf("node %d after relocate: %v", v, err)
+		}
+		if sec.NodeID != uint32(v) {
+			t.Fatalf("node %d decoded as %d", v, sec.NodeID)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package ftl
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Log-structured allocation and garbage collection for the regular
+// (non-DirectGraph) portion of the device. Section VI-E promises that
+// "host-side applications can continue their regular storage operations
+// on the SSD"; this is that path's FTL half: writes append into an open
+// block, overwrites invalidate the old page, and greedy GC reclaims the
+// written block with the fewest valid pages when free space runs low.
+
+// pageState tracks one physical page's content state.
+type pageState uint8
+
+const (
+	pageValid pageState = iota + 1
+	pageInvalid
+)
+
+// allocState is lazily initialized on first use.
+type allocState struct {
+	state    map[uint32]pageState // ppa → state (absent = free/erased)
+	reverse  map[uint32]uint32    // valid ppa → lpa (for GC migration)
+	validCnt map[int]int          // written block slot → valid pages
+
+	freeSlots []int // erased blocks available for appending
+	openSlot  int   // block currently receiving appends (-1 = none)
+	openOff   int   // pages already appended into openSlot
+
+	gcRuns  int
+	gcMoved int
+}
+
+func (f *FTL) allocInit() *allocState {
+	if f.al != nil {
+		return f.al
+	}
+	a := &allocState{
+		state:    make(map[uint32]pageState),
+		reverse:  make(map[uint32]uint32),
+		validCnt: make(map[int]int),
+		openSlot: -1,
+	}
+	// Regular slots start after the reserved DirectGraph rows.
+	first := (f.reservedStart + f.reservedRows) * f.cfg.TotalDies()
+	total := f.cfg.BlocksPerDie * f.cfg.TotalDies()
+	for s := first; s < total; s++ {
+		a.freeSlots = append(a.freeSlots, s)
+	}
+	f.al = a
+	return a
+}
+
+// blockSlot identifies a block by one integer in stripe order.
+func (f *FTL) blockSlot(ppa uint32) int {
+	return f.geom.BlockOf(ppa)*f.cfg.TotalDies() + f.geom.GlobalDie(ppa)
+}
+
+// pagesOfSlot lists the slot's global page numbers.
+func (f *FTL) pagesOfSlot(slot int) []uint32 {
+	dies := uint32(f.cfg.TotalDies())
+	block := uint32(slot) / dies
+	die := uint32(slot) % dies
+	first := block*uint32(f.cfg.PagesPerBlock)*dies + die
+	out := make([]uint32, f.cfg.PagesPerBlock)
+	for j := range out {
+		out[j] = first + uint32(j)*dies
+	}
+	return out
+}
+
+// FreeBlocks reports how many erased regular blocks remain.
+func (f *FTL) FreeBlocks() int { return len(f.allocInit().freeSlots) }
+
+// GCStats reports (gcRuns, pagesMigrated).
+func (f *FTL) GCStats() (int, int) {
+	a := f.allocInit()
+	return a.gcRuns, a.gcMoved
+}
+
+// WriteLPA maps lpa to a freshly allocated physical page, invalidating
+// any previous mapping, and returns the new PPA. It fails when the
+// device has no erased block to append into (the caller should GC; see
+// NeedsGC/CollectVictim/CommitVictim).
+func (f *FTL) WriteLPA(lpa uint32) (uint32, error) {
+	a := f.allocInit()
+	ppa, err := f.allocatePage()
+	if err != nil {
+		return 0, err
+	}
+	if old, ok := f.mapping[lpa]; ok {
+		a.state[old] = pageInvalid
+		a.validCnt[f.blockSlot(old)]--
+		delete(a.reverse, old)
+	}
+	f.mapping[lpa] = ppa
+	a.state[ppa] = pageValid
+	a.reverse[ppa] = lpa
+	a.validCnt[f.blockSlot(ppa)]++
+	f.block(BlockID{Die: f.geom.GlobalDie(ppa), Block: f.geom.BlockOf(ppa)}).allocated = true
+	return ppa, nil
+}
+
+// allocatePage appends into the open block, opening a fresh one from
+// the free pool when full.
+func (f *FTL) allocatePage() (uint32, error) {
+	a := f.allocInit()
+	if a.openSlot < 0 || a.openOff >= f.cfg.PagesPerBlock {
+		if len(a.freeSlots) == 0 {
+			return 0, fmt.Errorf("ftl: no erased blocks left (run GC)")
+		}
+		a.openSlot = a.freeSlots[0]
+		a.freeSlots = a.freeSlots[1:]
+		a.openOff = 0
+	}
+	pages := f.pagesOfSlot(a.openSlot)
+	ppa := pages[a.openOff]
+	a.openOff++
+	return ppa, nil
+}
+
+// NeedsGC reports whether free blocks dropped below the threshold.
+func (f *FTL) NeedsGC(minFree int) bool { return len(f.allocInit().freeSlots) < minFree }
+
+// Victim describes one GC step: the block slot to reclaim and the valid
+// (ppa, lpa) pairs that must migrate before its erase.
+type Victim struct {
+	Slot      int
+	FirstPage uint32
+	Valid     []MigratePair
+}
+
+// MigratePair is one live page to move during GC.
+type MigratePair struct {
+	PPA uint32
+	LPA uint32
+}
+
+// CollectVictim picks the written block with the fewest valid pages
+// (greedy GC), excluding the open block. It returns an error when no
+// reclaimable block exists.
+func (f *FTL) CollectVictim() (*Victim, error) {
+	a := f.allocInit()
+	slots := make([]int, 0, len(a.validCnt))
+	for s := range a.validCnt {
+		slots = append(slots, s)
+	}
+	sort.Ints(slots) // determinism
+	best, bestValid := -1, 1<<30
+	for _, s := range slots {
+		// Skip the open block only while it can still accept appends; a
+		// fully-written open block is as reclaimable as any other.
+		if s == a.openSlot && a.openOff < f.cfg.PagesPerBlock {
+			continue
+		}
+		if v := a.validCnt[s]; v < bestValid {
+			best, bestValid = s, v
+		}
+	}
+	if best < 0 {
+		return nil, fmt.Errorf("ftl: no GC victim available")
+	}
+	v := &Victim{Slot: best, FirstPage: f.pagesOfSlot(best)[0]}
+	for _, p := range f.pagesOfSlot(best) {
+		if a.state[p] == pageValid {
+			v.Valid = append(v.Valid, MigratePair{PPA: p, LPA: a.reverse[p]})
+		}
+	}
+	return v, nil
+}
+
+// CommitVictim finalizes a GC step after the device migrated the
+// victim's live pages (rewriting each LPA via WriteLPA) and erased the
+// block: the slot rejoins the free pool and its P/E count advances.
+func (f *FTL) CommitVictim(v *Victim) {
+	a := f.allocInit()
+	for _, p := range f.pagesOfSlot(v.Slot) {
+		delete(a.state, p)
+		delete(a.reverse, p)
+	}
+	delete(a.validCnt, v.Slot)
+	a.freeSlots = append(a.freeSlots, v.Slot)
+	a.gcRuns++
+	a.gcMoved += len(v.Valid)
+	f.RecordErase(BlockID{Die: v.Slot % f.cfg.TotalDies(), Block: v.Slot / f.cfg.TotalDies()})
+}

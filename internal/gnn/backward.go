@@ -1,0 +1,211 @@
+package gnn
+
+import (
+	"fmt"
+
+	"beacongnn/internal/accel"
+	"beacongnn/internal/graph"
+)
+
+// Training support. The paper's experiments run GNN training
+// (Section VII-A "we only focus on GNN training" in the query
+// discussion), so the compute stage includes the backward pass: for
+// each mini-batch the accelerator executes forward aggregation +
+// update, then output-gradient propagation and weight-gradient GEMMs.
+// This file provides both the timing workload (for the accelerator
+// model) and a reference implementation with exact gradients, verified
+// by finite differences in the tests.
+
+// TrainingWorkload returns the accelerator workload of one training
+// step on a mini-batch: the forward pass plus, per layer, the input-
+// gradient GEMM (dagg = dz · Wᵀ, same MACs as forward) and the
+// weight-gradient GEMM (dW = aggᵀ · dz), plus the backward aggregation
+// scatter on the vector array.
+func (m Model) TrainingWorkload(batchSize int) accel.Workload {
+	w := m.BatchWorkload(batchSize)
+	fwdGEMMs := len(w.GEMMs)
+	for i := 0; i < fwdGEMMs; i++ {
+		g := w.GEMMs[i]
+		// dagg: (M×N)·(N×K) — identical MAC count, transposed flow.
+		w.GEMMs = append(w.GEMMs, accel.GEMM{M: g.M, K: g.N, N: g.K})
+		// dW: (K×M)·(M×N).
+		w.GEMMs = append(w.GEMMs, accel.GEMM{M: g.K, K: g.M, N: g.N})
+	}
+	// Gradient scatter mirrors the forward aggregation traffic.
+	w.VectorElem *= 2
+	return w
+}
+
+// Gradients holds per-layer weight gradients, shaped like Weights.
+type Gradients struct {
+	Layers [][]float32
+}
+
+// scale multiplies every gradient entry (used by SGD).
+func (g *Gradients) scale(f float32) {
+	for _, l := range g.Layers {
+		for i := range l {
+			l[i] *= f
+		}
+	}
+}
+
+// LossAndGradients runs the forward pass, computes the squared-error
+// loss ½‖h_target − y‖² against the target label vector y (length
+// HiddenDim), and back-propagates exact gradients through the ReLU
+// perceptron layers and the vector_sum aggregation tree.
+func LossAndGradients(g *graph.Graph, sg *graph.Subgraph, w *Weights, y []float32) (float32, *Gradients, error) {
+	m := w.model
+	if err := m.Validate(); err != nil {
+		return 0, nil, err
+	}
+	if len(y) != m.HiddenDim {
+		return 0, nil, fmt.Errorf("gnn: label dim %d != hidden %d", len(y), m.HiddenDim)
+	}
+	if g.FeatureDim() != m.InputDim {
+		return 0, nil, fmt.Errorf("gnn: graph dim %d != model input dim %d", g.FeatureDim(), m.InputDim)
+	}
+	n := sg.NumNodes()
+	children := make([][]int32, n)
+	for i := 1; i < n; i++ {
+		children[sg.Parents[i]] = append(children[sg.Parents[i]], int32(i))
+	}
+
+	// Forward, storing per-layer activations for the backward pass.
+	type layerState struct {
+		agg map[int][]float32 // node → aggregated input
+		z   map[int][]float32 // node → pre-ReLU output
+	}
+	states := make([]layerState, m.Hops)
+	h := make([][]float32, n)
+	for i := 0; i < n; i++ {
+		h[i] = g.Feature(sg.Nodes[i])
+	}
+	dimIn := m.InputDim
+	for k := 0; k < m.Hops; k++ {
+		st := layerState{agg: map[int][]float32{}, z: map[int][]float32{}}
+		next := make([][]float32, n)
+		for i := 0; i < n; i++ {
+			if int(sg.Hop[i]) > m.Hops-k-1 {
+				continue
+			}
+			agg := make([]float32, dimIn)
+			copy(agg, h[i])
+			for _, c := range children[i] {
+				hc := h[c]
+				for j := range agg {
+					agg[j] += hc[j]
+				}
+			}
+			z := make([]float32, m.HiddenDim)
+			wk := w.Layers[k]
+			for o := 0; o < m.HiddenDim; o++ {
+				var s float32
+				for j := 0; j < dimIn; j++ {
+					s += agg[j] * wk[j*m.HiddenDim+o]
+				}
+				z[o] = s
+			}
+			out := make([]float32, m.HiddenDim)
+			for o, v := range z {
+				if v > 0 {
+					out[o] = v
+				}
+			}
+			st.agg[i] = agg
+			st.z[i] = z
+			next[i] = out
+		}
+		states[k] = st
+		h = next
+		dimIn = m.HiddenDim
+	}
+	if h[0] == nil {
+		return 0, nil, fmt.Errorf("gnn: no target output")
+	}
+
+	// Loss and its gradient at the target.
+	var loss float32
+	dh := make([][]float32, n)
+	dh[0] = make([]float32, m.HiddenDim)
+	for o := range y {
+		d := h[0][o] - y[o]
+		loss += 0.5 * d * d
+		dh[0][o] = d
+	}
+
+	// Backward through the layers.
+	grads := &Gradients{Layers: make([][]float32, m.Hops)}
+	for k := m.Hops - 1; k >= 0; k-- {
+		dimIn = m.HiddenDim
+		if k == 0 {
+			dimIn = m.InputDim
+		}
+		grads.Layers[k] = make([]float32, dimIn*m.HiddenDim)
+		st := states[k]
+		wk := w.Layers[k]
+		prevDh := make([][]float32, n)
+		for i := 0; i < n; i++ {
+			if dh[i] == nil || st.z[i] == nil {
+				continue
+			}
+			// ReLU gate.
+			dz := make([]float32, m.HiddenDim)
+			for o := range dz {
+				if st.z[i][o] > 0 {
+					dz[o] = dh[i][o]
+				}
+			}
+			agg := st.agg[i]
+			// Weight gradient: dW[j,o] += agg[j]·dz[o].
+			for j := 0; j < dimIn; j++ {
+				base := j * m.HiddenDim
+				aj := agg[j]
+				for o := 0; o < m.HiddenDim; o++ {
+					grads.Layers[k][base+o] += aj * dz[o]
+				}
+			}
+			// Input gradient: dagg[j] = Σ_o W[j,o]·dz[o].
+			dagg := make([]float32, dimIn)
+			for j := 0; j < dimIn; j++ {
+				base := j * m.HiddenDim
+				var s float32
+				for o := 0; o < m.HiddenDim; o++ {
+					s += wk[base+o] * dz[o]
+				}
+				dagg[j] = s
+			}
+			// Scatter through the sum aggregation: self + children.
+			addInto := func(idx int32) {
+				if prevDh[idx] == nil {
+					prevDh[idx] = make([]float32, dimIn)
+				}
+				for j := range dagg {
+					prevDh[idx][j] += dagg[j]
+				}
+			}
+			addInto(int32(i))
+			for _, c := range children[i] {
+				addInto(c)
+			}
+		}
+		dh = prevDh
+	}
+	return loss, grads, nil
+}
+
+// SGDStep applies one stochastic-gradient step: W ← W − lr·∇W.
+func SGDStep(w *Weights, grads *Gradients, lr float32) error {
+	if len(grads.Layers) != len(w.Layers) {
+		return fmt.Errorf("gnn: gradient layer count %d != %d", len(grads.Layers), len(w.Layers))
+	}
+	for k, gl := range grads.Layers {
+		if len(gl) != len(w.Layers[k]) {
+			return fmt.Errorf("gnn: layer %d gradient size %d != %d", k, len(gl), len(w.Layers[k]))
+		}
+		for i, gv := range gl {
+			w.Layers[k][i] -= lr * gv
+		}
+	}
+	return nil
+}

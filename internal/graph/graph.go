@@ -1,0 +1,207 @@
+// Package graph provides the in-memory graph representation and the
+// synthetic generators used to reproduce the paper's workloads.
+//
+// Graphs are stored in compressed sparse row (CSR) form: one offsets
+// array and one flat adjacency array, matching the neighbor-list layout
+// that DirectGraph serializes into flash pages. Node features are FP16
+// vectors as in the paper; this package stores them as raw 2-byte values
+// with float32 conversion helpers.
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// NodeID identifies a graph node. The paper represents nodes as INT-32
+// scalars; we use int32 for the stored form and int for API convenience.
+type NodeID = int32
+
+// Graph is an immutable directed graph in CSR form with per-node FP16
+// feature vectors. Undirected graphs are stored with both arc directions.
+type Graph struct {
+	offsets  []int64  // len = NumNodes()+1
+	adj      []NodeID // flat neighbor lists
+	features []uint16 // len = NumNodes() * FeatureDim, FP16 bits
+	dim      int
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.offsets) - 1 }
+
+// NumEdges returns the number of stored arcs.
+func (g *Graph) NumEdges() int64 { return int64(len(g.adj)) }
+
+// FeatureDim returns the per-node feature vector length.
+func (g *Graph) FeatureDim() int { return g.dim }
+
+// Degree returns the out-degree of node v.
+func (g *Graph) Degree(v NodeID) int {
+	return int(g.offsets[v+1] - g.offsets[v])
+}
+
+// Neighbors returns the neighbor list of v. The returned slice aliases
+// the graph's storage and must not be modified.
+func (g *Graph) Neighbors(v NodeID) []NodeID {
+	return g.adj[g.offsets[v]:g.offsets[v+1]]
+}
+
+// Neighbor returns the i-th neighbor of v.
+func (g *Graph) Neighbor(v NodeID, i int) NodeID {
+	return g.adj[g.offsets[v]+int64(i)]
+}
+
+// FeatureBits returns node v's feature vector as raw FP16 bit patterns.
+// The returned slice aliases the graph's storage.
+func (g *Graph) FeatureBits(v NodeID) []uint16 {
+	return g.features[int(v)*g.dim : (int(v)+1)*g.dim]
+}
+
+// Feature returns node v's feature vector converted to float32.
+func (g *Graph) Feature(v NodeID) []float32 {
+	bits := g.FeatureBits(v)
+	out := make([]float32, len(bits))
+	for i, b := range bits {
+		out[i] = Fp16ToFloat32(b)
+	}
+	return out
+}
+
+// AvgDegree returns the mean out-degree.
+func (g *Graph) AvgDegree() float64 {
+	if g.NumNodes() == 0 {
+		return 0
+	}
+	return float64(g.NumEdges()) / float64(g.NumNodes())
+}
+
+// MaxDegree returns the largest out-degree.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := 0; v < g.NumNodes(); v++ {
+		if d := g.Degree(NodeID(v)); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Builder incrementally assembles a Graph.
+type Builder struct {
+	adjLists [][]NodeID
+	dim      int
+	features []uint16
+}
+
+// NewBuilder returns a builder for n nodes with the given feature dim.
+func NewBuilder(n, dim int) *Builder {
+	return &Builder{
+		adjLists: make([][]NodeID, n),
+		dim:      dim,
+		features: make([]uint16, n*dim),
+	}
+}
+
+// AddEdge appends dst to src's neighbor list.
+func (b *Builder) AddEdge(src, dst NodeID) {
+	b.adjLists[src] = append(b.adjLists[src], dst)
+}
+
+// SetFeature stores node v's feature vector (length must equal dim).
+func (b *Builder) SetFeature(v NodeID, feat []float32) {
+	if len(feat) != b.dim {
+		panic(fmt.Sprintf("graph: feature length %d != dim %d", len(feat), b.dim))
+	}
+	base := int(v) * b.dim
+	for i, f := range feat {
+		b.features[base+i] = Float32ToFp16(f)
+	}
+}
+
+// Build finalizes the CSR arrays. The builder must not be reused.
+func (b *Builder) Build() *Graph {
+	n := len(b.adjLists)
+	g := &Graph{
+		offsets:  make([]int64, n+1),
+		dim:      b.dim,
+		features: b.features,
+	}
+	var total int64
+	for i, l := range b.adjLists {
+		g.offsets[i] = total
+		total += int64(len(l))
+	}
+	g.offsets[n] = total
+	g.adj = make([]NodeID, 0, total)
+	for _, l := range b.adjLists {
+		g.adj = append(g.adj, l...)
+	}
+	return g
+}
+
+// Fp16ToFloat32 converts an IEEE 754 half-precision bit pattern to float32.
+func Fp16ToFloat32(h uint16) float32 {
+	sign := uint32(h>>15) & 1
+	exp := uint32(h>>10) & 0x1f
+	frac := uint32(h) & 0x3ff
+	var bits uint32
+	switch exp {
+	case 0:
+		if frac == 0 {
+			bits = sign << 31 // signed zero
+		} else {
+			// subnormal: normalize
+			e := uint32(127 - 15 + 1)
+			for frac&0x400 == 0 {
+				frac <<= 1
+				e--
+			}
+			frac &= 0x3ff
+			bits = sign<<31 | e<<23 | frac<<13
+		}
+	case 0x1f:
+		bits = sign<<31 | 0xff<<23 | frac<<13 // inf/NaN
+	default:
+		bits = sign<<31 | (exp-15+127)<<23 | frac<<13
+	}
+	return math.Float32frombits(bits)
+}
+
+// Float32ToFp16 converts a float32 to the nearest IEEE 754 half-precision
+// bit pattern (round-to-nearest-even, overflow to infinity).
+func Float32ToFp16(f float32) uint16 {
+	bits := math.Float32bits(f)
+	sign := uint16(bits>>16) & 0x8000
+	exp := int32(bits>>23)&0xff - 127 + 15
+	frac := bits & 0x7fffff
+	switch {
+	case int32(bits>>23)&0xff == 0xff: // inf/NaN
+		if frac != 0 {
+			return sign | 0x7e00 // NaN
+		}
+		return sign | 0x7c00
+	case exp >= 0x1f:
+		return sign | 0x7c00 // overflow → inf
+	case exp <= 0:
+		if exp < -10 {
+			return sign // underflow → zero
+		}
+		// subnormal
+		frac |= 0x800000
+		shift := uint32(14 - exp)
+		half := frac >> shift
+		rem := frac & ((1 << shift) - 1)
+		mid := uint32(1) << (shift - 1)
+		if rem > mid || (rem == mid && half&1 == 1) {
+			half++
+		}
+		return sign | uint16(half)
+	default:
+		half := uint16(exp)<<10 | uint16(frac>>13)
+		rem := frac & 0x1fff
+		if rem > 0x1000 || (rem == 0x1000 && half&1 == 1) {
+			half++ // may carry into exponent; that is correct rounding
+		}
+		return sign | half
+	}
+}

@@ -1,0 +1,122 @@
+package graph
+
+import (
+	"fmt"
+
+	"beacongnn/internal/xrand"
+)
+
+// SampleSpec configures GraphSage-style k-hop neighbor sampling: at each
+// hop, Fanout neighbors are drawn (with replacement, TRNG + modulo, as
+// the die-level sampler does) from each frontier node's neighbor list.
+type SampleSpec struct {
+	Hops   int // number of sampling hops (paper default: 3)
+	Fanout int // samples per node per hop (paper default: 3)
+}
+
+// Validate reports whether the spec is usable.
+func (s SampleSpec) Validate() error {
+	if s.Hops <= 0 || s.Fanout <= 0 {
+		return fmt.Errorf("graph: sample spec must have positive hops and fanout, got %+v", s)
+	}
+	return nil
+}
+
+// SubgraphSize returns the node count of a full k-hop sample tree:
+// 1 + f + f² + ... + f^k (the paper's 3-hop fanout-3 example yields 40).
+func (s SampleSpec) SubgraphSize() int {
+	total, layer := 1, 1
+	for h := 0; h < s.Hops; h++ {
+		layer *= s.Fanout
+		total += layer
+	}
+	return total
+}
+
+// Subgraph is a sampled k-hop tree rooted at Target. Nodes are stored
+// hop by hop; Parents[i] is the index (into Nodes) of node i's parent,
+// with Parents[0] == -1 for the root.
+type Subgraph struct {
+	Target  NodeID
+	Nodes   []NodeID
+	Hop     []int8 // hop distance of each node from the target
+	Parents []int32
+}
+
+// NumNodes returns the number of sampled nodes (including the target).
+func (sg *Subgraph) NumNodes() int { return len(sg.Nodes) }
+
+// SampleSubgraph draws a k-hop subgraph for target using the reference
+// (host-side) algorithm. Each sampled node draws Fanout neighbors from
+// its full neighbor list via rng.Intn(degree) — exactly the TRNG+modulo
+// reduction the on-die sampler performs — so a die-level simulation fed
+// the same per-node random values produces an identical subgraph.
+// Zero-degree nodes contribute no children.
+func SampleSubgraph(g *Graph, target NodeID, spec SampleSpec, rng *xrand.Source) (*Subgraph, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if int(target) < 0 || int(target) >= g.NumNodes() {
+		return nil, fmt.Errorf("graph: target %d out of range [0,%d)", target, g.NumNodes())
+	}
+	sg := &Subgraph{
+		Target:  target,
+		Nodes:   []NodeID{target},
+		Hop:     []int8{0},
+		Parents: []int32{-1},
+	}
+	frontier := []int32{0}
+	for h := 1; h <= spec.Hops; h++ {
+		var next []int32
+		for _, pi := range frontier {
+			v := sg.Nodes[pi]
+			deg := g.Degree(v)
+			if deg == 0 {
+				continue
+			}
+			for j := 0; j < spec.Fanout; j++ {
+				nb := g.Neighbor(v, rng.Intn(deg))
+				idx := int32(len(sg.Nodes))
+				sg.Nodes = append(sg.Nodes, nb)
+				sg.Hop = append(sg.Hop, int8(h))
+				sg.Parents = append(sg.Parents, pi)
+				next = append(next, idx)
+			}
+		}
+		frontier = next
+	}
+	return sg, nil
+}
+
+// Validate checks the subgraph's structural invariants against g:
+// parent links are acyclic tree edges, hops increase by one along edges,
+// and every sampled child is actually a neighbor of its parent.
+func (sg *Subgraph) Validate(g *Graph) error {
+	if len(sg.Nodes) != len(sg.Hop) || len(sg.Nodes) != len(sg.Parents) {
+		return fmt.Errorf("graph: subgraph arrays disagree on length")
+	}
+	if len(sg.Nodes) == 0 || sg.Parents[0] != -1 || sg.Hop[0] != 0 || sg.Nodes[0] != sg.Target {
+		return fmt.Errorf("graph: malformed subgraph root")
+	}
+	for i := 1; i < len(sg.Nodes); i++ {
+		p := sg.Parents[i]
+		if p < 0 || int(p) >= i {
+			return fmt.Errorf("graph: node %d has invalid parent %d", i, p)
+		}
+		if sg.Hop[i] != sg.Hop[p]+1 {
+			return fmt.Errorf("graph: node %d hop %d, parent hop %d", i, sg.Hop[i], sg.Hop[p])
+		}
+		parent, child := sg.Nodes[p], sg.Nodes[i]
+		found := false
+		for _, nb := range g.Neighbors(parent) {
+			if nb == child {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("graph: sampled node %d is not a neighbor of %d", child, parent)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"beacongnn/internal/sim"
+)
+
+// Histogram accumulates durations into logarithmic buckets, giving
+// approximate quantiles at O(1) memory — used for per-command lifetime
+// tails (the paper reports means; tails expose the queueing behaviour
+// behind them).
+type Histogram struct {
+	buckets [128]uint64
+	count   uint64
+	sum     sim.Time
+	min     sim.Time
+	max     sim.Time
+}
+
+// bucketOf maps a duration to a bucket: ~18 buckets per decade
+// (bucket = floor(log1.15(ns))), clamped to the array.
+func bucketOf(d sim.Time) int {
+	if d <= 0 {
+		return 0
+	}
+	b := int(math.Log(float64(d)) / math.Log(1.15))
+	if b < 0 {
+		b = 0
+	}
+	if b >= 128 {
+		b = 127
+	}
+	return b
+}
+
+// bucketLow returns the lower bound of bucket b.
+func bucketLow(b int) sim.Time {
+	return sim.Time(math.Pow(1.15, float64(b)))
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d sim.Time) {
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[bucketOf(d)]++
+	h.count++
+	h.sum += d
+	if h.count == 1 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the exact mean of observations.
+func (h *Histogram) Mean() sim.Time {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / sim.Time(h.count)
+}
+
+// Min and Max return the exact extremes.
+func (h *Histogram) Min() sim.Time { return h.min }
+
+// Max returns the largest observation.
+func (h *Histogram) Max() sim.Time { return h.max }
+
+// Quantile returns an approximate quantile (q in [0,1]); resolution is
+// the bucket width (±15 %). The exact min/max bound the estimate.
+func (h *Histogram) Quantile(q float64) sim.Time {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	target := uint64(q * float64(h.count))
+	var cum uint64
+	for b, n := range h.buckets {
+		cum += n
+		if cum > target {
+			est := bucketLow(b)
+			if est < h.min {
+				est = h.min
+			}
+			if est > h.max {
+				est = h.max
+			}
+			return est
+		}
+	}
+	return h.max
+}
+
+// String renders count/mean/p50/p99/max.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%v p50=%v p99=%v max=%v",
+		h.count, h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.Max())
+	return b.String()
+}

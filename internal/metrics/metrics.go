@@ -1,0 +1,218 @@
+// Package metrics collects the measurements behind every evaluation
+// figure: throughput (Fig. 14), latency breakdown (Fig. 15f), resource
+// utilization timelines (Fig. 15a–e), hop timelines (Fig. 16), and
+// per-command lifetime phases (Fig. 17).
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"beacongnn/internal/sim"
+)
+
+// Phase labels a latency component of the end-to-end breakdown.
+type Phase string
+
+// Breakdown phases (Fig. 15f and Fig. 17).
+const (
+	PhaseHost       Phase = "host"              // host software stack + translation
+	PhasePCIe       Phase = "pcie"              // external bus
+	PhaseFirmware   Phase = "firmware"          // embedded-core processing
+	PhaseWaitBefore Phase = "wait_before_flash" // queueing before the die
+	PhaseFlash      Phase = "flash"             // sense + on-die processing
+	PhaseWaitAfter  Phase = "wait_after_flash"  // queueing for the channel bus
+	PhaseChannel    Phase = "channel"           // bus occupancy
+	PhaseDRAM       Phase = "dram"              // SSD DRAM transfer
+	PhaseAccel      Phase = "accel"             // GNN computation
+)
+
+// Collector gathers all run measurements. Not safe for concurrent use;
+// the simulation kernel is single-threaded.
+type Collector struct {
+	phase map[Phase]sim.Time
+
+	cmdCount   uint64
+	cmdPhases  map[Phase]sim.Time // summed per-command lifetime phases (Fig. 17)
+	cmdLife    sim.Time
+	cmdHist    Histogram        // lifetime distribution (tail latencies)
+	hopFirst   map[int]sim.Time // hop id → first command start
+	hopLast    map[int]sim.Time // hop id → last command completion
+	targetsRun int
+	batchesRun int
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{
+		phase:     make(map[Phase]sim.Time),
+		cmdPhases: make(map[Phase]sim.Time),
+		hopFirst:  make(map[int]sim.Time),
+		hopLast:   make(map[int]sim.Time),
+	}
+}
+
+// AddPhase accumulates time into an end-to-end breakdown phase.
+func (c *Collector) AddPhase(p Phase, d sim.Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("metrics: negative phase time %v for %s", d, p))
+	}
+	c.phase[p] += d
+}
+
+// Phase returns a phase's accumulated time.
+func (c *Collector) Phase(p Phase) sim.Time { return c.phase[p] }
+
+// PhaseBreakdown returns phases sorted by descending time plus the total.
+func (c *Collector) PhaseBreakdown() ([]PhaseShare, sim.Time) {
+	var total sim.Time
+	out := make([]PhaseShare, 0, len(c.phase))
+	for p, t := range c.phase {
+		out = append(out, PhaseShare{Phase: p, Time: t})
+		total += t
+	}
+	for i := range out {
+		if total > 0 {
+			out[i].Fraction = float64(out[i].Time) / float64(total)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Time != out[j].Time {
+			return out[i].Time > out[j].Time
+		}
+		return out[i].Phase < out[j].Phase
+	})
+	return out, total
+}
+
+// PhaseShare is one phase's portion of the total.
+type PhaseShare struct {
+	Phase    Phase
+	Time     sim.Time
+	Fraction float64
+}
+
+// CommandLifetime records one flash command's lifetime phases for the
+// Figure 17 breakdown. Lifetime runs from address availability at the
+// frontend to result availability at the frontend.
+func (c *Collector) CommandLifetime(waitBefore, flash, waitAfter, channel sim.Time) {
+	c.cmdCount++
+	c.cmdPhases[PhaseWaitBefore] += waitBefore
+	c.cmdPhases[PhaseFlash] += flash
+	c.cmdPhases[PhaseWaitAfter] += waitAfter
+	c.cmdPhases[PhaseChannel] += channel
+	life := waitBefore + flash + waitAfter + channel
+	c.cmdLife += life
+	c.cmdHist.Observe(life)
+}
+
+// CommandHistogram exposes the lifetime distribution.
+func (c *Collector) CommandHistogram() *Histogram { return &c.cmdHist }
+
+// CommandBreakdown returns the mean per-command phase durations and the
+// mean total lifetime.
+func (c *Collector) CommandBreakdown() (map[Phase]sim.Time, sim.Time) {
+	out := make(map[Phase]sim.Time, len(c.cmdPhases))
+	if c.cmdCount == 0 {
+		return out, 0
+	}
+	for p, t := range c.cmdPhases {
+		out[p] = t / sim.Time(c.cmdCount)
+	}
+	return out, c.cmdLife / sim.Time(c.cmdCount)
+}
+
+// Commands returns how many flash commands completed.
+func (c *Collector) Commands() uint64 { return c.cmdCount }
+
+// HopStart marks a sampling command of the given hop starting.
+func (c *Collector) HopStart(hop int, at sim.Time) {
+	if first, ok := c.hopFirst[hop]; !ok || at < first {
+		c.hopFirst[hop] = at
+	}
+}
+
+// HopEnd marks a sampling command of the given hop completing.
+func (c *Collector) HopEnd(hop int, at sim.Time) {
+	if last, ok := c.hopLast[hop]; !ok || at > last {
+		c.hopLast[hop] = at
+	}
+}
+
+// HopSpan is the [First, Last] activity window of one hop (Fig. 16).
+type HopSpan struct {
+	Hop         int
+	First, Last sim.Time
+}
+
+// HopTimeline returns spans ordered by hop. Overlapping spans are the
+// signature of out-of-order sampling; disjoint ones, of hop barriers.
+func (c *Collector) HopTimeline() []HopSpan {
+	hops := make([]int, 0, len(c.hopFirst))
+	for h := range c.hopFirst {
+		hops = append(hops, h)
+	}
+	sort.Ints(hops)
+	out := make([]HopSpan, 0, len(hops))
+	for _, h := range hops {
+		out = append(out, HopSpan{Hop: h, First: c.hopFirst[h], Last: c.hopLast[h]})
+	}
+	return out
+}
+
+// OverlapFraction returns how much of hop h+1's span overlaps hop h's:
+// 0 for strictly serialized hops, approaching 1 for full streaming.
+func (c *Collector) OverlapFraction() float64 {
+	spans := c.HopTimeline()
+	if len(spans) < 2 {
+		return 0
+	}
+	var overlap, span float64
+	for i := 1; i < len(spans); i++ {
+		prev, cur := spans[i-1], spans[i]
+		span += float64(cur.Last - cur.First)
+		if cur.First < prev.Last {
+			o := prev.Last
+			if cur.Last < o {
+				o = cur.Last
+			}
+			overlap += float64(o - cur.First)
+		}
+	}
+	if span == 0 {
+		return 0
+	}
+	return overlap / span
+}
+
+// TargetDone counts one completed target node.
+func (c *Collector) TargetDone() { c.targetsRun++ }
+
+// BatchDone counts one completed mini-batch.
+func (c *Collector) BatchDone() { c.batchesRun++ }
+
+// Targets returns completed target count.
+func (c *Collector) Targets() int { return c.targetsRun }
+
+// Batches returns completed batch count.
+func (c *Collector) Batches() int { return c.batchesRun }
+
+// Throughput returns targets per second over the elapsed time.
+func (c *Collector) Throughput(elapsed sim.Time) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(c.targetsRun) / elapsed.Seconds()
+}
+
+// String renders the end-to-end breakdown.
+func (c *Collector) String() string {
+	shares, total := c.PhaseBreakdown()
+	var b strings.Builder
+	fmt.Fprintf(&b, "total accumulated %v\n", total)
+	for _, s := range shares {
+		fmt.Fprintf(&b, "%-18s %12v  %5.1f%%\n", s.Phase, s.Time, s.Fraction*100)
+	}
+	return b.String()
+}

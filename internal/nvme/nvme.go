@@ -1,0 +1,144 @@
+// Package nvme models the host interface: NVMe queue pairs riding a
+// PCIe link. Regular reads/writes and BeaconGNN's customized commands
+// (Sections IV, VI-A, VI-D) all flow through here: DirectGraph block
+// reservation and flushing, per-mini-batch target submission, and the
+// offload commands of the intermediate platforms.
+//
+// Timing model per command: the host writes a submission-queue entry
+// and rings the doorbell (PCIe latency), the device fetches the 64-byte
+// SQE (PCIe occupancy), optional data moves over the link, and the
+// 16-byte completion returns the same way. Host software-stack cost
+// (filesystem + driver) is charged separately by the platform because
+// it occupies host CPU, not the link.
+package nvme
+
+import (
+	"fmt"
+
+	"beacongnn/internal/config"
+	"beacongnn/internal/sim"
+)
+
+// Opcode identifies an NVMe command. The customized opcodes follow
+// Section VI-A's ioctl-exposed manipulation interface.
+type Opcode uint8
+
+// Command opcodes.
+const (
+	OpRead          Opcode = iota // regular block read
+	OpWrite                       // regular block write
+	OpDGReserve                   // reserve DirectGraph blocks (VI-A)
+	OpDGFlush                     // flush converted DirectGraph pages (VI-B)
+	OpDGTargets                   // submit a mini-batch's target nodes (VI-D)
+	OpOffloadSample               // firmware neighbor sampling (SmartSage/BG-1)
+	OpOffloadLookup               // feature lookup + compute (GList)
+	OpTaskConfig                  // GNN model parameters and sampling config
+)
+
+func (o Opcode) String() string {
+	names := [...]string{"read", "write", "dg_reserve", "dg_flush", "dg_targets", "offload_sample", "offload_lookup", "task_config"}
+	if int(o) < len(names) {
+		return names[o]
+	}
+	return fmt.Sprintf("opcode(%d)", uint8(o))
+}
+
+// Command is one submission-queue entry.
+type Command struct {
+	Opcode Opcode
+	LPA    uint32 // logical address for regular I/O
+	Bytes  int    // payload size moved host→device or device→host
+	Tag    uint64 // caller correlation id
+}
+
+// Sizes of queue entries on the wire.
+const (
+	sqeBytes = 64
+	cqeBytes = 16
+)
+
+// QueuePair is one submission/completion queue pair over a PCIe link.
+type QueuePair struct {
+	k    *sim.Kernel
+	pcie *sim.Pipe
+
+	submitted uint64
+	completed uint64
+	inFlight  int
+	depth     int
+
+	// Device is invoked when the device has fetched a command; it must
+	// eventually call Complete.
+	Device func(cmd Command)
+
+	// OnPCIeBytes, when set, receives link traffic for energy accounting.
+	OnPCIeBytes func(n int)
+}
+
+// New returns a queue pair over a link with the given queue depth.
+func New(k *sim.Kernel, link config.Link, depth int) (*QueuePair, error) {
+	if link.Bandwidth <= 0 {
+		return nil, fmt.Errorf("nvme: PCIe bandwidth must be positive")
+	}
+	if depth <= 0 {
+		return nil, fmt.Errorf("nvme: queue depth must be positive")
+	}
+	return &QueuePair{
+		k:     k,
+		pcie:  sim.NewPipe(k, link.Bandwidth, link.Latency),
+		depth: depth,
+	}, nil
+}
+
+// PCIe exposes the underlying link for bulk data transfers that bypass
+// the queue machinery (e.g. streaming feature pages to the host).
+func (q *QueuePair) PCIe() *sim.Pipe { return q.pcie }
+
+// TransferData moves n payload bytes over the link.
+func (q *QueuePair) TransferData(n int, done func()) {
+	if q.OnPCIeBytes != nil {
+		q.OnPCIeBytes(n)
+	}
+	q.pcie.Transfer(n, done)
+}
+
+// Submit issues a command: doorbell + SQE fetch over the link, then the
+// device handler runs. Returns an error when the queue is full (the
+// host must throttle, as a real driver would).
+func (q *QueuePair) Submit(cmd Command) error {
+	if q.Device == nil {
+		return fmt.Errorf("nvme: no device attached")
+	}
+	if q.inFlight >= q.depth {
+		return fmt.Errorf("nvme: queue full (depth %d)", q.depth)
+	}
+	q.inFlight++
+	q.submitted++
+	if q.OnPCIeBytes != nil {
+		q.OnPCIeBytes(sqeBytes)
+	}
+	q.pcie.Transfer(sqeBytes, func() {
+		q.Device(cmd)
+	})
+	return nil
+}
+
+// Complete finishes a command: CQE back over the link, then the host
+// callback.
+func (q *QueuePair) Complete(done func()) {
+	if q.OnPCIeBytes != nil {
+		q.OnPCIeBytes(cqeBytes)
+	}
+	q.pcie.Transfer(cqeBytes, func() {
+		q.completed++
+		q.inFlight--
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// Stats returns (submitted, completed, inFlight).
+func (q *QueuePair) Stats() (uint64, uint64, int) {
+	return q.submitted, q.completed, q.inFlight
+}

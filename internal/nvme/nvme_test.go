@@ -1,0 +1,108 @@
+package nvme
+
+import (
+	"testing"
+
+	"beacongnn/internal/config"
+	"beacongnn/internal/sim"
+)
+
+func qp(t *testing.T, depth int) (*sim.Kernel, *QueuePair) {
+	t.Helper()
+	k := sim.New()
+	q, err := New(k, config.Default().PCIe, depth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, q
+}
+
+func TestSubmitCompleteRoundTrip(t *testing.T) {
+	k, q := qp(t, 8)
+	var deviceGot Command
+	var hostDone sim.Time
+	q.Device = func(cmd Command) {
+		deviceGot = cmd
+		q.Complete(func() { hostDone = k.Now() })
+	}
+	if err := q.Submit(Command{Opcode: OpDGTargets, Bytes: 512, Tag: 7}); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if deviceGot.Opcode != OpDGTargets || deviceGot.Tag != 7 {
+		t.Fatalf("device got %+v", deviceGot)
+	}
+	if hostDone <= 0 {
+		t.Fatal("completion never reached host")
+	}
+	// Two link latencies must have elapsed at minimum.
+	if hostDone < 2*config.Default().PCIe.Latency {
+		t.Fatalf("round trip %v too fast", hostDone)
+	}
+	s, c, inflight := q.Stats()
+	if s != 1 || c != 1 || inflight != 0 {
+		t.Fatalf("stats = %d/%d/%d", s, c, inflight)
+	}
+}
+
+func TestQueueDepthEnforced(t *testing.T) {
+	_, q := qp(t, 2)
+	q.Device = func(cmd Command) {} // never completes
+	if err := q.Submit(Command{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Submit(Command{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Submit(Command{}); err == nil {
+		t.Fatal("over-depth submit accepted")
+	}
+}
+
+func TestSubmitWithoutDevice(t *testing.T) {
+	_, q := qp(t, 2)
+	if err := q.Submit(Command{}); err == nil {
+		t.Fatal("submit without device accepted")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(sim.New(), config.Link{Bandwidth: 0}, 4); err == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+	if _, err := New(sim.New(), config.Default().PCIe, 0); err == nil {
+		t.Fatal("zero depth accepted")
+	}
+}
+
+func TestPCIeBytesHook(t *testing.T) {
+	k, q := qp(t, 4)
+	total := 0
+	q.OnPCIeBytes = func(n int) { total += n }
+	q.Device = func(cmd Command) { q.Complete(nil) }
+	if err := q.Submit(Command{}); err != nil {
+		t.Fatal(err)
+	}
+	q.TransferData(1000, nil)
+	k.Run()
+	if total != 64+16+1000 {
+		t.Fatalf("link bytes = %d", total)
+	}
+}
+
+func TestDataTransferTiming(t *testing.T) {
+	k := sim.New()
+	q, _ := New(k, config.Link{Bandwidth: 1e9, Latency: 100}, 4)
+	var at sim.Time
+	q.TransferData(4096, func() { at = k.Now() })
+	k.Run()
+	if at != 4096+100 {
+		t.Fatalf("transfer end = %v", at)
+	}
+}
+
+func TestOpcodeStrings(t *testing.T) {
+	if OpDGFlush.String() != "dg_flush" || Opcode(99).String() == "" {
+		t.Fatal("opcode strings broken")
+	}
+}

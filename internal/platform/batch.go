@@ -1,0 +1,316 @@
+package platform
+
+import (
+	"fmt"
+
+	"beacongnn/internal/graph"
+	"beacongnn/internal/metrics"
+	"beacongnn/internal/sampler"
+	"beacongnn/internal/sim"
+)
+
+// batchState tracks one mini-batch's data preparation: outstanding work,
+// per-step counters for hop barriers, and buffered next-hop commands.
+// Steps are indexed by the depth of the node being read (0..Hops).
+type batchState struct {
+	sys *System
+	id  int32
+
+	outstanding int
+	hopOut      []int
+	pendDie     [][]sampler.Command // die platforms: children awaiting a barrier
+	pendPage    [][]nodeRead        // page platforms
+	fired       []bool
+	featBytes   int64
+	done        func()
+	finished    bool
+}
+
+func (s *System) newBatch(id int, done func()) *batchState {
+	hops := s.cfg.GNN.Hops
+	return &batchState{
+		sys: s, id: int32(id),
+		hopOut:   make([]int, hops+1),
+		pendDie:  make([][]sampler.Command, hops+2),
+		pendPage: make([][]nodeRead, hops+2),
+		fired:    make([]bool, hops+2),
+		done:     done,
+	}
+}
+
+// prepBatch starts batch i's data preparation and calls done when every
+// feature vector and subgraph edge for the batch is in place.
+func (s *System) prepBatch(i int, done func()) {
+	b := s.newBatch(i, done)
+	s.batches[int32(i)] = b
+	var targets []graph.NodeID
+	if s.targetSource != nil {
+		targets = s.targetSource(i)
+		if len(targets) != s.cfg.GNN.BatchSize {
+			panic(fmt.Sprintf("platform: target source returned %d targets, want %d", len(targets), s.cfg.GNN.BatchSize))
+		}
+	} else {
+		targets = make([]graph.NodeID, s.cfg.GNN.BatchSize)
+		for t := range targets {
+			if skew := s.cfg.GNN.TargetSkew; skew > 0 {
+				targets[t] = graph.NodeID(s.rng.Zipf(s.inst.Graph.NumNodes(), skew))
+			} else {
+				targets[t] = graph.NodeID(s.rng.Intn(s.inst.Graph.NumNodes()))
+			}
+		}
+	}
+	// Mini-batch start (Section VI-D): the host looks up each target's
+	// primary-section address (or LPA), sends one customized NVMe
+	// command, and the firmware polls it.
+	remaining := len(targets)
+	for range targets {
+		s.hostDo(s.cfg.Host.TranslateCost, func() {
+			remaining--
+			if remaining == 0 {
+				s.pcieData(8*len(targets), func() {
+					s.fwPhase(s.cfg.Firmware.PollCost)
+					s.fw.Poll(func() { s.launchTargets(b, targets) })
+				})
+			}
+		})
+	}
+}
+
+// launchTargets injects the per-target root work.
+func (s *System) launchTargets(b *batchState, targets []graph.NodeID) {
+	if s.caps.Sampler == SampleOnDie {
+		for _, tgt := range targets {
+			cmd := sampler.Command{
+				Addr:    s.inst.Build.NodeAddr(tgt),
+				Hop:     0,
+				Target:  int32(tgt),
+				Batch:   b.id,
+				Created: s.k.Now(),
+			}
+			b.addWork(0)
+			b.dispatchDie(cmd)
+		}
+		return
+	}
+	for _, tgt := range targets {
+		// Page platforms: one combined sampling + feature read at depth 0.
+		b.addWork(0)
+		b.dispatchPage(nodeRead{node: tgt, hop: 0, sample: true, feature: true, created: s.k.Now()})
+	}
+}
+
+// addWork registers one unit of outstanding work at the given step.
+func (b *batchState) addWork(step int) {
+	b.outstanding++
+	b.hopOut[step]++
+}
+
+// stepDone finishes one unit at the step and drives barrier/completion.
+func (b *batchState) stepDone(step int) {
+	b.hopOut[step]--
+	b.outstanding--
+	if b.outstanding == 0 {
+		b.finish()
+		return
+	}
+	if b.sys.caps.OutOfOrder {
+		return
+	}
+	if b.hopOut[step] == 0 {
+		next := step + 1
+		if next < len(b.fired) && !b.fired[next] &&
+			(len(b.pendDie[next]) > 0 || len(b.pendPage[next]) > 0) {
+			b.fired[next] = true
+			b.barrier(next)
+		}
+	}
+}
+
+func (b *batchState) finish() {
+	if b.finished {
+		panic("platform: batch finished twice")
+	}
+	b.finished = true
+	s := b.sys
+	for t := 0; t < s.cfg.GNN.BatchSize; t++ {
+		s.coll.TargetDone()
+	}
+	s.coll.BatchDone()
+	delete(s.batches, b.id)
+	b.done()
+}
+
+// barrier runs the inter-hop host round trip (Challenge 1, Fig. 5):
+// sampled results return to the host, which translates every next-hop
+// node and commands the SSD to continue.
+func (b *batchState) barrier(step int) {
+	s := b.sys
+	die := b.pendDie[step]
+	page := b.pendPage[step]
+	b.pendDie[step] = nil
+	b.pendPage[step] = nil
+	n := len(die) + len(page)
+	if n == 0 {
+		return
+	}
+	release := func() {
+		s.coll.AddPhase(metrics.PhaseHost, s.cfg.Host.HopRoundTrip)
+		s.k.After(s.cfg.Host.HopRoundTrip, func() {
+			s.pcieData(8*n, func() {
+				s.fwPhase(s.cfg.Firmware.PollCost)
+				s.fw.Poll(func() {
+					now := s.k.Now()
+					for _, c := range die {
+						c.Created = now
+						b.dispatchDie(c)
+					}
+					for _, r := range page {
+						r.created = now
+						b.dispatchPage(r)
+					}
+				})
+			})
+		})
+	}
+	// Host-side per-node translation (node index → LPA / section addr).
+	remaining := n
+	for i := 0; i < n; i++ {
+		s.hostDo(s.cfg.Host.TranslateCost, func() {
+			remaining--
+			if remaining == 0 {
+				release()
+			}
+		})
+	}
+}
+
+// registerChildDie queues or dispatches a die-sampler child command.
+// Counters are bumped immediately so completion detection stays sound.
+func (b *batchState) registerChildDie(c sampler.Command) (dispatchNow bool) {
+	b.addWork(c.Hop)
+	if c.Secondary || b.sys.caps.OutOfOrder {
+		return true // same-step secondary reads never wait for a barrier
+	}
+	b.pendDie[c.Hop] = append(b.pendDie[c.Hop], c)
+	return false
+}
+
+// ---- Die-sampler data path (BG-SP, BG-DGSP, BG-2) ----
+
+// dispatchDie routes one sampling command toward its die. In BG-2 the
+// hardware router carries it; otherwise the firmware scheduler processes
+// it first (FlashCmd cost, plus FTL translation without DirectGraph).
+func (b *batchState) dispatchDie(cmd sampler.Command) {
+	s := b.sys
+	if cmd.Created == 0 {
+		cmd.Created = s.k.Now()
+	}
+	if s.caps.HWRouting {
+		s.rtr.Route(-1, cmd)
+		return
+	}
+	cost := s.cfg.Firmware.FlashCmdCost
+	if !s.caps.DirectGraph {
+		cost += s.cfg.Firmware.TranslateCost
+	}
+	s.fwPhase(cost)
+	s.fw.Do(cost, func() {
+		page := s.layout.Page(cmd.Addr)
+		s.backend.IssueCommand(page, func() {
+			b.execDie(cmd, nil, func(res *sampler.Result) {
+				// Results DMA into DRAM and the firmware parses them.
+				s.dramWrite(res.BusBytes(), func() {
+					s.fwPhase(s.cfg.Firmware.ResultParseCost)
+					s.fw.ParseResult(func() {
+						children := b.accountDie(cmd, res)
+						for _, c := range children {
+							b.dispatchDie(c)
+						}
+						b.stepDone(cmd.Hop)
+					})
+				})
+			})
+		})
+	})
+}
+
+// execDie performs the die-level read + sample + result transfer.
+// onSense (optional) fires when the die's array is free again (data in
+// the cache register); onDone receives the functional sampler result
+// after the channel releases it.
+func (b *batchState) execDie(cmd sampler.Command, onSense func(), onDone func(*sampler.Result)) {
+	s := b.sys
+	page := s.layout.Page(cmd.Addr)
+	pageBytes, ok := s.inst.Build.Pages[page]
+	if !ok {
+		panic(fmt.Sprintf("platform: command addresses unmaterialized page %d", page))
+	}
+	draws := cmd.SampleCount
+	if draws <= 0 {
+		draws = s.cfg.GNN.Fanout
+	}
+	extra := s.cfg.DieSampler.Fixed + sim.Time(draws)*s.cfg.DieSampler.PerDraw
+	var senseStart, senseEnd sim.Time
+	s.backend.ReadPage(page, extra, func(at sim.Time) {
+		senseStart = at
+		if cmd.Batch == 0 {
+			// Hop timelines (Fig. 16) track a single batch; pipelined
+			// batches would blur the spans together.
+			s.coll.HopStart(cmd.Hop, at)
+		}
+	}, func() {
+		senseEnd = s.k.Now()
+		die := s.backend.Geometry().GlobalDie(page)
+		res, err := sampler.Execute(s.layout, pageBytes, cmd, s.samplerCfg, s.dieTRNG[die])
+		if err != nil {
+			// Section VI-E: the sampler aborts and control returns to
+			// firmware; in a clean simulation this is a build bug.
+			panic(fmt.Sprintf("platform: die sampler failed: %v", err))
+		}
+		s.meter.FlashSampleOp()
+		if onSense != nil {
+			onSense()
+		}
+		n := res.BusBytes()
+		s.backend.Transfer(page, n, func() {
+			xfer := s.cfg.Flash.TransferTime(n)
+			waitAfter := s.k.Now() - senseEnd - xfer
+			if waitAfter < 0 {
+				waitAfter = 0
+			}
+			wb := senseStart - cmd.Created
+			fl := senseEnd - senseStart
+			s.coll.CommandLifetime(wb, fl, waitAfter, xfer)
+			s.coll.AddPhase(metrics.PhaseFlash, fl)
+			s.coll.AddPhase(metrics.PhaseChannel, xfer)
+			onDone(res)
+		})
+	})
+}
+
+// accountDie updates counters for a completed die command and returns
+// the children that should dispatch immediately. The caller must invoke
+// stepDone(cmd.Hop) afterwards.
+func (b *batchState) accountDie(cmd sampler.Command, res *sampler.Result) []sampler.Command {
+	s := b.sys
+	if b.id == 0 {
+		s.coll.HopEnd(cmd.Hop, s.k.Now())
+	}
+	b.featBytes += int64(len(res.FeatureBits) * 2)
+	now := s.k.Now()
+	var immediate []sampler.Command
+	for _, c := range res.Commands {
+		c.Created = now
+		if s.onSample != nil && !c.Secondary {
+			// The command's address names the child's primary section;
+			// decode the child id for the observer.
+			if sec, err := s.inst.Build.ReadSection(c.Addr); err == nil {
+				s.onSample(res.Node, sec.NodeID, c.Hop)
+			}
+		}
+		if b.registerChildDie(c) {
+			immediate = append(immediate, c)
+		}
+	}
+	return immediate
+}

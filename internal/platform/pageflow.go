@@ -1,0 +1,353 @@
+package platform
+
+import (
+	"beacongnn/internal/graph"
+	"beacongnn/internal/metrics"
+	"beacongnn/internal/sim"
+)
+
+// nodeRead is one unit of page-granular data preparation on the
+// platforms without die-level samplers (CC, SmartSage, GList, BG-1,
+// BG-DG): read a node's neighbor-list and/or feature pages and, for
+// sampling reads, run the sampler in firmware or on the host.
+type nodeRead struct {
+	node    graph.NodeID
+	hop     int  // depth of the node
+	sample  bool // read neighbor list and sample children
+	feature bool // read the feature vector
+	created sim.Time
+
+	// secondary marks a BG-DG DirectGraph secondary-section read whose
+	// sampled children were already drawn; they release on completion.
+	secondary   bool
+	secPage     uint32
+	secChildren []graph.NodeID
+}
+
+func (r nodeRead) step() int { return r.hop }
+
+// recordBytes returns the raw-format footprint a read must fetch: the
+// node record (neighbor list + feature vector, co-located as GList-style
+// layouts do) for sampling reads, or just the feature vector.
+func (s *System) recordBytes(v graph.NodeID, sample bool) int {
+	feat := s.inst.Desc.FeatureDim * 2
+	if !sample {
+		return feat
+	}
+	return 4*s.inst.Graph.Degree(v) + feat
+}
+
+// pagesFor returns how many physical pages a read touches, and the page
+// numbers. Raw-format data is addressed at the node's DirectGraph
+// primary page (the striping is equivalent); multi-page reads use
+// consecutive page numbers, which stripe across channels.
+func (s *System) pagesFor(v graph.NodeID, bytes int) []uint32 {
+	ps := s.cfg.Flash.PageSize
+	n := (bytes + ps - 1) / ps
+	if n < 1 {
+		n = 1
+	}
+	base := s.layout.Page(s.inst.Build.NodeAddr(v))
+	pages := make([]uint32, n)
+	for i := range pages {
+		pages[i] = base + uint32(i)
+	}
+	return pages
+}
+
+// registerChildPage mirrors registerChildDie for page-flow children.
+func (b *batchState) registerChildPage(r nodeRead) (dispatchNow bool) {
+	b.addWork(r.step())
+	if r.secondary || b.sys.caps.OutOfOrder {
+		return true
+	}
+	b.pendPage[r.step()] = append(b.pendPage[r.step()], r)
+	return false
+}
+
+// dispatchPage routes one node read down the platform's page path.
+func (b *batchState) dispatchPage(r nodeRead) {
+	s := b.sys
+	if r.created == 0 {
+		r.created = s.k.Now()
+	}
+	switch {
+	case r.secondary:
+		b.fwSecondaryRead(r)
+	case s.caps.Sampler == SampleInFirmware:
+		b.fwRead(r)
+	case r.feature && !r.sample && s.caps.InternalFT:
+		// GList: feature lookups are offloaded even though sampling is
+		// host-driven.
+		b.fwRead(r)
+	default:
+		b.hostRead(r)
+	}
+}
+
+// flashPageRead performs one full-page read with lifetime accounting:
+// sense, full-page channel transfer, DRAM landing.
+func (s *System) flashPageRead(page uint32, created sim.Time, step int, record bool, done func()) {
+	var senseStart, senseEnd sim.Time
+	s.backend.ReadPage(page, 0, func(at sim.Time) {
+		senseStart = at
+		if record {
+			// Hop timelines (Fig. 16) track batch 0 only.
+			s.coll.HopStart(step, at)
+		}
+	}, func() {
+		senseEnd = s.k.Now()
+		ps := s.cfg.Flash.PageSize
+		s.backend.Transfer(page, ps, func() {
+			xfer := s.cfg.Flash.TransferTime(ps)
+			waitAfter := s.k.Now() - senseEnd - xfer
+			if waitAfter < 0 {
+				waitAfter = 0
+			}
+			wb := senseStart - created
+			fl := senseEnd - senseStart
+			s.coll.CommandLifetime(wb, fl, waitAfter, xfer)
+			s.coll.AddPhase(metrics.PhaseFlash, fl)
+			s.coll.AddPhase(metrics.PhaseChannel, xfer)
+			s.dramWrite(ps, done)
+		})
+	})
+}
+
+// readAllPages reads every page of the list through the firmware path
+// (translate without DirectGraph + flash scheduling per page). When
+// hostBytes > 0, that many sector-rounded bytes per page continue on to
+// host memory over PCIe.
+func (b *batchState) readAllPages(pages []uint32, created sim.Time, step int, hostBytes int, done func()) {
+	s := b.sys
+	remaining := len(pages)
+	for _, p := range pages {
+		p := p
+		start := func() {
+			s.backend.IssueCommand(p, func() {
+				s.flashPageRead(p, created, step, b.id == 0, func() {
+					if hostBytes > 0 {
+						s.dramRead(hostBytes, func() {
+							s.pcieData(hostBytes, func() {
+								remaining--
+								if remaining == 0 {
+									done()
+								}
+							})
+						})
+						return
+					}
+					remaining--
+					if remaining == 0 {
+						done()
+					}
+				})
+			})
+		}
+		cost := s.cfg.Firmware.FlashCmdCost
+		if !s.caps.DirectGraph {
+			cost += s.cfg.Firmware.TranslateCost
+		}
+		s.fwPhase(cost)
+		s.fw.Do(cost, start)
+	}
+}
+
+// fwRead executes a node read with firmware-driven control (SmartSage,
+// BG-1, BG-DG, and GList's feature path).
+func (b *batchState) fwRead(r nodeRead) {
+	s := b.sys
+	var pages []uint32
+	if s.caps.DirectGraph {
+		// One primary page holds feature + inline neighbors.
+		pages = []uint32{s.layout.Page(s.inst.Build.NodeAddr(r.node))}
+	} else {
+		pages = s.pagesFor(r.node, s.recordBytes(r.node, r.sample))
+	}
+	// SmartSage ships feature pages onward to the host via the block
+	// interface; sampling data stays inside. (InternalFT platforms keep
+	// everything in DRAM.)
+	hostBytes := 0
+	if !s.caps.InternalFT && !r.sample {
+		hostBytes = s.cfg.Flash.PageSize
+	}
+	b.readAllPages(pages, r.created, r.step(), hostBytes, func() {
+		if r.feature {
+			b.featBytes += int64(s.inst.Desc.FeatureDim * 2)
+		}
+		if !r.sample {
+			if b.id == 0 {
+				s.coll.HopEnd(r.step(), s.k.Now())
+			}
+			b.stepDone(r.step())
+			return
+		}
+		// Firmware neighbor sampling.
+		s.fwPhase(s.cfg.Firmware.SampleCostFixed + sim.Time(s.cfg.GNN.Fanout)*s.cfg.Firmware.SampleCostPerNode)
+		s.fw.SampleNodes(s.cfg.GNN.Fanout, func() {
+			children := b.drawChildren(r)
+			if b.id == 0 {
+				s.coll.HopEnd(r.step(), s.k.Now())
+			}
+			for _, c := range children {
+				if b.registerChildPage(c) {
+					b.dispatchPage(c)
+				}
+			}
+			b.stepDone(r.step())
+		})
+	})
+}
+
+// fwSecondaryRead reads one BG-DG secondary page whose children were
+// drawn during the parent's sampling; they release when it lands.
+func (b *batchState) fwSecondaryRead(r nodeRead) {
+	s := b.sys
+	b.readAllPages([]uint32{r.secPage}, r.created, r.step(), 0, func() {
+		s.fwPhase(s.cfg.Firmware.ResultParseCost)
+		s.fw.ParseResult(func() {
+			if b.id == 0 {
+				s.coll.HopEnd(r.step(), s.k.Now())
+			}
+			for _, child := range r.secChildren {
+				for _, c := range b.childReads(child, r.hop+1) {
+					if b.registerChildPage(c) {
+						b.dispatchPage(c)
+					}
+				}
+			}
+			b.stepDone(r.step())
+		})
+	})
+}
+
+// hostRead executes a node read under host control (CC always; GList's
+// sampling reads): every page is a full NVMe I/O crossing PCIe, and
+// sampling runs on the host CPU.
+func (b *batchState) hostRead(r nodeRead) {
+	s := b.sys
+	bytes := s.recordBytes(r.node, r.sample)
+	pages := s.pagesFor(r.node, bytes)
+	// Block-interface reads are page-granular end to end: the whole
+	// page crosses DRAM and PCIe (Challenge 2's read amplification).
+	perPage := s.cfg.Flash.PageSize
+	// Dependent (sampling) reads pay the full software stack; bulk
+	// feature fetches batch through io_uring-style submission.
+	stack := s.cfg.Host.IOStackCost
+	if r.feature && !r.sample {
+		stack = s.cfg.Host.BatchedIOCost
+	}
+	remaining := len(pages)
+	for _, p := range pages {
+		p := p
+		s.hostDo(stack, func() {
+			s.pcieData(64, func() {
+				cost := s.cfg.Firmware.PollCost + s.cfg.Firmware.TranslateCost + s.cfg.Firmware.FlashCmdCost
+				s.fwPhase(cost)
+				s.fw.Do(cost, func() {
+					s.backend.IssueCommand(p, func() {
+						s.flashPageRead(p, r.created, r.step(), b.id == 0, func() {
+							s.dramRead(perPage, func() {
+								s.pcieData(perPage, func() {
+									remaining--
+									if remaining == 0 {
+										b.hostPagesArrived(r)
+									}
+								})
+							})
+						})
+					})
+				})
+			})
+		})
+	}
+}
+
+// hostPagesArrived finishes a host-controlled read: feature reads are
+// done; sampling reads run the host sampler and spawn children.
+func (b *batchState) hostPagesArrived(r nodeRead) {
+	s := b.sys
+	if r.feature && !r.sample {
+		b.featBytes += int64(s.inst.Desc.FeatureDim * 2)
+		if b.id == 0 {
+			s.coll.HopEnd(r.step(), s.k.Now())
+		}
+		b.stepDone(r.step())
+		return
+	}
+	cost := sim.Time(s.cfg.GNN.Fanout) * s.cfg.Host.SampleCostNode
+	s.hostDo(cost, func() {
+		children := b.drawChildren(r)
+		if b.id == 0 {
+			s.coll.HopEnd(r.step(), s.k.Now())
+		}
+		for _, c := range children {
+			if b.registerChildPage(c) {
+				b.dispatchPage(c)
+			}
+		}
+		b.stepDone(r.step())
+	})
+}
+
+// drawChildren samples the node's children and expands them into the
+// next hop's reads. Raw-format platforms have the full neighbor list in
+// hand; BG-DG draws global indices over the DirectGraph plan, turning
+// out-of-page draws into coalesced secondary reads.
+func (b *batchState) drawChildren(r nodeRead) []nodeRead {
+	s := b.sys
+	g := s.inst.Graph
+	deg := g.Degree(r.node)
+	if deg == 0 || r.hop >= s.cfg.GNN.Hops {
+		return nil
+	}
+	now := s.k.Now()
+	var out []nodeRead
+	if !s.caps.DirectGraph {
+		for i := 0; i < s.cfg.GNN.Fanout; i++ {
+			child := g.Neighbor(r.node, s.rng.Intn(deg))
+			out = append(out, b.childReads(child, r.hop+1)...)
+		}
+		return out
+	}
+	// BG-DG: DirectGraph-aware drawing with secondary coalescing.
+	plan := &s.inst.Build.Plans[r.node]
+	coalesce := map[int][]graph.NodeID{}
+	for i := 0; i < s.cfg.GNN.Fanout; i++ {
+		idx := s.rng.Intn(deg)
+		child := g.Neighbor(r.node, idx)
+		if idx < plan.InlineCount {
+			out = append(out, b.childReads(child, r.hop+1)...)
+			continue
+		}
+		si := plan.SecondaryIndexFor(idx)
+		coalesce[si] = append(coalesce[si], child)
+	}
+	for si := 0; si < plan.SecCount; si++ {
+		kids := coalesce[si]
+		if len(kids) == 0 {
+			continue
+		}
+		out = append(out, nodeRead{
+			node: r.node, hop: r.hop, secondary: true,
+			secPage:     s.layout.Page(plan.Secondaries[si]),
+			secChildren: kids,
+			created:     now,
+		})
+	}
+	return out
+}
+
+// childReads expands one sampled child node into its reads at the given
+// depth: a sampling read (plus a raw-format feature read) below the
+// final hop, or a feature-only read at the final hop.
+func (b *batchState) childReads(child graph.NodeID, hop int) []nodeRead {
+	s := b.sys
+	now := s.k.Now()
+	if hop >= s.cfg.GNN.Hops {
+		return []nodeRead{{node: child, hop: hop, feature: true, created: now}}
+	}
+	// One read covers sampling and feature: DirectGraph primaries hold
+	// both by construction, and raw layouts co-locate the node record.
+	return []nodeRead{{node: child, hop: hop, sample: true, feature: true, created: now}}
+}

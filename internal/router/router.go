@@ -1,0 +1,189 @@
+// Package router models the channel-level command router of Section V-B
+// (Figure 12): per-die dispatch queues fed through a crossbar, a
+// round-robin command issuer per channel, and a data-stream parser that
+// extracts new sampling commands from completed results — all in
+// hardware, with no embedded-core involvement. This is the component
+// that turns BG-DGSP into BG-2.
+package router
+
+import (
+	"fmt"
+
+	"beacongnn/internal/config"
+	"beacongnn/internal/directgraph"
+	"beacongnn/internal/flash"
+	"beacongnn/internal/sampler"
+	"beacongnn/internal/sim"
+)
+
+// Stats counts router activity.
+type Stats struct {
+	Routed     uint64 // commands through the crossbar
+	CrossHops  uint64 // commands whose source ≠ destination channel
+	ParsedCmds uint64 // commands extracted by the data-stream parser
+	MaxQueue   int    // deepest dispatch queue observed
+}
+
+// Router forwards sampling commands between channels. Execution of a
+// command at a die is delegated to the Exec callback, so the router
+// stays independent of what the die does with it.
+type Router struct {
+	k       *sim.Kernel
+	backend *flash.Backend
+	cfg     config.Flash
+
+	crossbarLat sim.Time
+	parseLat    sim.Time
+	sectionBits uint
+
+	// dispatch[die] queues commands waiting for that die; the per-die
+	// queue + flash.Backend's die server model the paper's per-die
+	// dispatch queues polled round-robin by the channel's issuer.
+	dispatch [][]sampler.Command
+	inFlight []int // routed commands currently executing on the die
+	planes   int   // per-die concurrency (one command per plane)
+	rrNext   []int // per-channel round-robin pointer over its dies
+
+	stats Stats
+
+	// Exec runs a command on its die. The callee must call release once
+	// the die's sense completes (the cache register frees the array, so
+	// the next command can start sensing while this result transfers),
+	// and done with the result's follow-up commands when the transfer
+	// finishes.
+	Exec func(cmd sampler.Command, release func(), done func(next []sampler.Command))
+
+	// OnRouted, when set, receives an energy event per routed command.
+	OnRouted func()
+}
+
+// New returns a router over the backend. Crossbar and parse latencies
+// default to 50 ns each when zero.
+func New(k *sim.Kernel, backend *flash.Backend, crossbarLat, parseLat sim.Time) *Router {
+	cfg := backend.Config()
+	if crossbarLat == 0 {
+		crossbarLat = 50 * sim.Nanosecond
+	}
+	if parseLat == 0 {
+		parseLat = 50 * sim.Nanosecond
+	}
+	planes := cfg.PlanesPerDie
+	if planes < 1 {
+		planes = 1
+	}
+	r := &Router{
+		k: k, backend: backend, cfg: cfg,
+		crossbarLat: crossbarLat, parseLat: parseLat,
+		sectionBits: directgraph.Layout{PageSize: cfg.PageSize}.SectionBits(),
+		dispatch:    make([][]sampler.Command, cfg.TotalDies()),
+		inFlight:    make([]int, cfg.TotalDies()),
+		planes:      planes,
+		rrNext:      make([]int, cfg.Channels),
+	}
+	return r
+}
+
+// Stats returns a copy of the activity counters.
+func (r *Router) Stats() Stats { return r.stats }
+
+func (r *Router) dieOf(cmd sampler.Command) int {
+	// Section addresses embed the physical page; geometry maps it.
+	return r.backend.Geometry().GlobalDie(r.pageOf(cmd))
+}
+
+func (r *Router) pageOf(cmd sampler.Command) uint32 {
+	// Section addresses embed the page number in their high bits; the
+	// hardware shifter is fixed by the page size (Section IV-A).
+	return uint32(cmd.Addr) >> r.sectionBits
+}
+
+// Route injects a command into the crossbar from the given source
+// channel (−1 for the initial injection from the frontend).
+func (r *Router) Route(srcChannel int, cmd sampler.Command) {
+	r.stats.Routed++
+	if r.OnRouted != nil {
+		r.OnRouted()
+	}
+	dst := r.backend.Geometry().Channel(r.pageOf(cmd))
+	if srcChannel >= 0 && srcChannel != dst {
+		r.stats.CrossHops++
+	}
+	r.k.After(r.crossbarLat, func() {
+		die := r.dieOf(cmd)
+		r.dispatch[die] = append(r.dispatch[die], cmd)
+		if n := len(r.dispatch[die]); n > r.stats.MaxQueue {
+			r.stats.MaxQueue = n
+		}
+		r.pump(dst)
+	})
+}
+
+// pump is the channel's round-robin command issuer: it repeatedly scans
+// the channel's dies from the last issue point, starting every queued
+// command whose die is idle.
+func (r *Router) pump(channel int) {
+	d := r.cfg.DiesPerChannel
+	base := channel * d
+	for issued := true; issued; {
+		issued = false
+		for i := 0; i < d; i++ {
+			idx := (r.rrNext[channel] + i) % d
+			die := base + idx
+			if r.inFlight[die] >= r.planes || len(r.dispatch[die]) == 0 {
+				continue
+			}
+			cmd := r.dispatch[die][0]
+			r.dispatch[die] = r.dispatch[die][1:]
+			r.inFlight[die]++
+			r.rrNext[channel] = (idx + 1) % d
+			r.start(channel, die, cmd)
+			issued = true
+			break
+		}
+	}
+}
+
+// start issues one command to its die: command cycles on the channel,
+// execution, then parse + crossbar forwarding of follow-up commands.
+func (r *Router) start(channel, die int, cmd sampler.Command) {
+	r.backend.IssueCommand(r.pageOf(cmd), func() {
+		released := false
+		release := func() {
+			if released {
+				return
+			}
+			released = true
+			r.inFlight[die]--
+			r.pump(channel)
+		}
+		r.Exec(cmd, release, func(next []sampler.Command) {
+			// Data-stream parser: classify results, forward new
+			// commands through the crossbar.
+			r.k.After(r.parseLat, func() {
+				release()
+				for _, nc := range next {
+					r.stats.ParsedCmds++
+					r.Route(channel, nc)
+				}
+				r.pump(channel)
+			})
+		})
+	})
+}
+
+// QueuedCommands returns the total commands waiting in dispatch queues.
+func (r *Router) QueuedCommands() int {
+	n := 0
+	for _, q := range r.dispatch {
+		n += len(q)
+	}
+	return n
+}
+
+// Validate cross-checks router geometry against the backend.
+func (r *Router) Validate() error {
+	if r.Exec == nil {
+		return fmt.Errorf("router: Exec callback not set")
+	}
+	return nil
+}

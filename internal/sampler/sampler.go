@@ -1,0 +1,194 @@
+// Package sampler implements the die-level sampler microarchitecture of
+// Section V-A (Figure 11): a section iterator, vector retriever, node
+// sampler and command generator that execute inside each flash die's
+// control logic, operating on the raw bytes of a DirectGraph page held
+// in the die's cache register.
+//
+// The sampler is functional, not just a timing stub: it decodes real
+// page bytes, draws TRNG randomness, and emits the follow-up sampling
+// commands that stream through the backend. Commands aimed at the same
+// secondary section coalesce into one read (Section V-A), and malformed
+// sections abort with an error, which the firmware maps to the security
+// behaviour of Section VI-E.
+package sampler
+
+import (
+	"fmt"
+
+	"beacongnn/internal/directgraph"
+	"beacongnn/internal/sim"
+	"beacongnn/internal/xrand"
+)
+
+// Config mirrors the global GNN configuration command (Fig. 13): the
+// per-die registers programmed once before a task starts.
+type Config struct {
+	Hops       int  // total sampling hops
+	Fanout     int  // samples per node per hop
+	FeatureDim int  // FP16 feature length
+	NoCoalesce bool // ablation: one command per secondary draw
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Hops <= 0 || c.Fanout <= 0 || c.FeatureDim < 0 {
+		return fmt.Errorf("sampler: bad config %+v", c)
+	}
+	return nil
+}
+
+// Command is one sampling command (Fig. 13's runtime parameters): which
+// section to read, the hop of the node it belongs to, and how many
+// neighbors to sample there. Batch/target identifiers ride along so the
+// frontend can reconstruct subgraphs.
+type Command struct {
+	Addr        directgraph.Addr
+	Hop         int  // depth of the node being read (target = 0)
+	SampleCount int  // coalesced sample draws (secondary sections); 0 = default fanout
+	Secondary   bool // true when Addr names a secondary section
+	Target      int32
+	Batch       int32
+	ParentNode  uint32 // graph node id of the sampled node's parent (bookkeeping)
+
+	// Created is simulation instrumentation, not protocol state: the
+	// simulated time the command's address became available at the
+	// frontend, the start of its Figure-17 lifetime.
+	Created sim.Time
+}
+
+// EncodedBytes is the on-bus size of one sampling command: 4 B address,
+// 2 B hop/flags, 2 B count, 4 B target/batch metadata, 4 B parent.
+const EncodedBytes = 16
+
+// ResultHeaderBytes is the fixed framing of a sampling result on the
+// channel bus (node id, counts, status).
+const ResultHeaderBytes = 16
+
+// Result is what leaves the die after executing one command.
+type Result struct {
+	Node        uint32           // graph node the section belongs to
+	Commands    []Command        // follow-up sampling commands (coalesced)
+	FeatureBits []uint16         // retrieved feature vector (primary sections)
+	SampledIdx  []int            // raw sampled neighbor indices (diagnostics)
+	Addr        directgraph.Addr // echo of the executed command's address
+	Hop         int
+}
+
+// BusBytes returns the result's channel-bus footprint — the quantity
+// that replaces full-page transfer in BG-SP and later designs.
+func (r *Result) BusBytes() int {
+	return ResultHeaderBytes + len(r.Commands)*EncodedBytes + len(r.FeatureBits)*2
+}
+
+// Execute runs one sampling command against a page image, drawing
+// randomness from the die's TRNG. The layout must match the DirectGraph
+// the page came from.
+func Execute(l directgraph.Layout, page []byte, cmd Command, cfg Config, trng *xrand.Source) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	// Section iterator: walk the page to the addressed section.
+	sec, err := directgraph.FindSection(l, page, l.Section(cmd.Addr))
+	if err != nil {
+		return nil, fmt.Errorf("sampler: %w", err)
+	}
+	res := &Result{Node: sec.NodeID, Addr: cmd.Addr, Hop: cmd.Hop}
+	switch {
+	case cmd.Secondary:
+		if sec.Type != directgraph.SectionTypeSecondary {
+			return nil, fmt.Errorf("sampler: %w: expected secondary at %#x", directgraph.ErrBadSectionType, uint32(cmd.Addr))
+		}
+		if cmd.SampleCount <= 0 {
+			return nil, fmt.Errorf("sampler: secondary command with count %d", cmd.SampleCount)
+		}
+		// Node sampler, secondary mode: draw only within this section.
+		for i := 0; i < cmd.SampleCount; i++ {
+			if sec.Count == 0 {
+				break
+			}
+			idx := trng.Intn(sec.Count)
+			res.SampledIdx = append(res.SampledIdx, sec.BaseIndex+idx)
+			res.Commands = append(res.Commands, Command{
+				Addr:       sec.Entries[idx],
+				Hop:        cmd.Hop + 1,
+				Target:     cmd.Target,
+				Batch:      cmd.Batch,
+				ParentNode: sec.NodeID,
+			})
+		}
+	default:
+		if sec.Type != directgraph.SectionTypePrimary {
+			return nil, fmt.Errorf("sampler: %w: expected primary at %#x", directgraph.ErrBadSectionType, uint32(cmd.Addr))
+		}
+		// Vector retriever: primary sections carry the node's feature.
+		res.FeatureBits = sec.FeatureBits
+		if cmd.Hop >= cfg.Hops {
+			return res, nil // final hop: feature retrieval only
+		}
+		count := cmd.SampleCount
+		if count <= 0 {
+			count = cfg.Fanout
+		}
+		if sec.NeighborCount == 0 {
+			return res, nil
+		}
+		// Node sampler, primary mode: draw over the whole neighbor
+		// range; out-of-page indices turn into coalesced secondary
+		// commands.
+		plan := directgraph.NodePlan{
+			InlineCount:  sec.InlineCount,
+			FullSecCount: l.SecondaryCapacity(),
+		}
+		coalesce := make(map[int]int) // secondary section index → draw count
+		for i := 0; i < count; i++ {
+			idx := trng.Intn(sec.NeighborCount)
+			res.SampledIdx = append(res.SampledIdx, idx)
+			if idx < sec.InlineCount {
+				res.Commands = append(res.Commands, Command{
+					Addr:       sec.Inline[idx],
+					Hop:        cmd.Hop + 1,
+					Target:     cmd.Target,
+					Batch:      cmd.Batch,
+					ParentNode: sec.NodeID,
+				})
+				continue
+			}
+			s := plan.SecondaryIndexFor(idx)
+			if s < 0 || s >= len(sec.Secondaries) {
+				return nil, fmt.Errorf("sampler: sampled index %d maps to secondary %d of %d", idx, s, len(sec.Secondaries))
+			}
+			if cfg.NoCoalesce {
+				// Ablation path: every draw becomes its own secondary
+				// read, exposing the redundant-read cost coalescing
+				// avoids.
+				res.Commands = append(res.Commands, Command{
+					Addr:        sec.Secondaries[s],
+					Hop:         cmd.Hop,
+					SampleCount: 1,
+					Secondary:   true,
+					Target:      cmd.Target,
+					Batch:       cmd.Batch,
+					ParentNode:  sec.NodeID,
+				})
+				continue
+			}
+			coalesce[s]++
+		}
+		// Command generator: one coalesced command per touched secondary.
+		// Iterate in section order for determinism.
+		for s := 0; s < len(sec.Secondaries); s++ {
+			if n := coalesce[s]; n > 0 {
+				res.Commands = append(res.Commands, Command{
+					Addr:        sec.Secondaries[s],
+					Hop:         cmd.Hop, // same node's sampling continues
+					SampleCount: n,
+					Secondary:   true,
+					Target:      cmd.Target,
+					Batch:       cmd.Batch,
+					ParentNode:  sec.NodeID,
+				})
+			}
+		}
+	}
+	return res, nil
+}

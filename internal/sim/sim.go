@@ -1,0 +1,390 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel maintains a virtual clock and a priority queue of events.
+// Components schedule callbacks at absolute or relative simulated times;
+// Run drains the queue in (time, insertion-order) order, so simulations
+// are fully deterministic for a given seed and schedule.
+//
+// The package also provides the queueing building blocks shared by every
+// device model in the repository: Server (an N-way FIFO service center)
+// and Pipe (a bandwidth-limited byte mover), plus utilization trackers
+// used to regenerate the paper's resource-utilization figures.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a point in simulated time, in nanoseconds.
+type Time int64
+
+// Common durations, in simulated nanoseconds.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000
+	Millisecond Time = 1000 * 1000
+	Second      Time = 1000 * 1000 * 1000
+)
+
+// Duration converts a standard library duration to simulated time.
+func Duration(d time.Duration) Time { return Time(d.Nanoseconds()) }
+
+// Seconds returns t expressed in seconds as a float.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros returns t expressed in microseconds as a float.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fµs", t.Micros())
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // tiebreaker: FIFO among equal times
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() (Time, bool) { // earliest event time
+	if len(h) == 0 {
+		return 0, false
+	}
+	return h[0].at, true
+}
+
+// Kernel is the discrete-event engine. The zero value is ready to use.
+type Kernel struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	steps  uint64
+}
+
+// New returns a fresh kernel with the clock at zero.
+func New() *Kernel { return &Kernel{} }
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Steps returns the number of events executed so far.
+func (k *Kernel) Steps() uint64 { return k.steps }
+
+// Pending returns the number of events waiting in the queue.
+func (k *Kernel) Pending() int { return len(k.events) }
+
+// At schedules fn to run at absolute simulated time t. Scheduling in the
+// past panics: it would silently reorder causality.
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, k.now))
+	}
+	k.seq++
+	heap.Push(&k.events, event{at: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run d nanoseconds from now. Negative delays panic.
+func (k *Kernel) After(d Time, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	k.At(k.now+d, fn)
+}
+
+// Run executes events until the queue is empty.
+func (k *Kernel) Run() {
+	for len(k.events) > 0 {
+		k.step()
+	}
+}
+
+// RunUntil executes events with time ≤ limit, leaving the clock at the
+// last executed event (or limit if nothing ran past it). Events scheduled
+// after limit remain queued. It reports whether the queue drained.
+func (k *Kernel) RunUntil(limit Time) bool {
+	for {
+		at, ok := k.events.peek()
+		if !ok {
+			return true
+		}
+		if at > limit {
+			return false
+		}
+		k.step()
+	}
+}
+
+func (k *Kernel) step() {
+	e := heap.Pop(&k.events).(event)
+	k.now = e.at
+	k.steps++
+	e.fn()
+}
+
+// Server is an N-way FIFO service center: up to Width requests are in
+// service simultaneously; the rest wait in arrival order. It is the
+// building block for flash dies (width 1), channel buses (width 1),
+// embedded-core pools (width = cores), and similar contended resources.
+type Server struct {
+	k     *Kernel
+	width int
+	busy  int
+	queue []serverReq
+	util  *Utilization
+	wait  *WaitStats
+}
+
+type serverReq struct {
+	service Time
+	start   func(start Time) // optional: called when service begins
+	done    func()
+	arrived Time
+}
+
+// NewServer returns a service center with the given parallel width.
+func NewServer(k *Kernel, width int) *Server {
+	if width <= 0 {
+		panic("sim: server width must be positive")
+	}
+	return &Server{k: k, width: width}
+}
+
+// SetUtilization attaches a utilization tracker (may be nil).
+func (s *Server) SetUtilization(u *Utilization) { s.util = u }
+
+// SetWaitStats attaches a queueing-delay tracker (may be nil).
+func (s *Server) SetWaitStats(w *WaitStats) { s.wait = w }
+
+// Width returns the number of parallel servers.
+func (s *Server) Width() int { return s.width }
+
+// Busy returns how many servers are currently occupied.
+func (s *Server) Busy() int { return s.busy }
+
+// QueueLen returns the number of waiting (not yet started) requests.
+func (s *Server) QueueLen() int { return len(s.queue) }
+
+// Submit enqueues a request needing the given service time. done runs when
+// service completes; it may be nil.
+func (s *Server) Submit(service Time, done func()) {
+	s.SubmitFull(service, nil, done)
+}
+
+// SubmitFull enqueues a request; start (optional) runs when service begins,
+// receiving the start time, and done (optional) when it completes.
+func (s *Server) SubmitFull(service Time, start func(Time), done func()) {
+	if service < 0 {
+		panic("sim: negative service time")
+	}
+	r := serverReq{service: service, start: start, done: done, arrived: s.k.Now()}
+	if s.busy < s.width {
+		s.begin(r)
+		return
+	}
+	s.queue = append(s.queue, r)
+}
+
+func (s *Server) begin(r serverReq) {
+	s.busy++
+	if s.util != nil {
+		s.util.Add(s.k.Now(), +1)
+	}
+	if s.wait != nil {
+		s.wait.Observe(s.k.Now() - r.arrived)
+	}
+	if r.start != nil {
+		r.start(s.k.Now())
+	}
+	s.k.After(r.service, func() {
+		s.busy--
+		if s.util != nil {
+			s.util.Add(s.k.Now(), -1)
+		}
+		if r.done != nil {
+			r.done()
+		}
+		if len(s.queue) > 0 && s.busy < s.width {
+			next := s.queue[0]
+			s.queue = s.queue[1:]
+			s.begin(next)
+		}
+	})
+}
+
+// Pipe is a bandwidth-limited byte mover with fixed per-transfer latency:
+// a transfer of n bytes occupies the pipe for n/bandwidth and completes
+// latency later. It models DRAM ports, PCIe links, and channel buses when
+// byte-granular accounting is wanted.
+type Pipe struct {
+	srv         *Server
+	bytesPerSec float64
+	latency     Time
+	moved       uint64
+}
+
+// NewPipe returns a pipe with the given bandwidth (bytes/second) and fixed
+// latency added to every transfer.
+func NewPipe(k *Kernel, bytesPerSec float64, latency Time) *Pipe {
+	if bytesPerSec <= 0 {
+		panic("sim: pipe bandwidth must be positive")
+	}
+	return &Pipe{srv: NewServer(k, 1), bytesPerSec: bytesPerSec, latency: latency}
+}
+
+// SetUtilization attaches a utilization tracker to the underlying server.
+func (p *Pipe) SetUtilization(u *Utilization) { p.srv.SetUtilization(u) }
+
+// OccupancyFor returns the bus-occupancy time for n bytes.
+func (p *Pipe) OccupancyFor(n int) Time {
+	return Time(math.Ceil(float64(n) / p.bytesPerSec * float64(Second)))
+}
+
+// Transfer moves n bytes through the pipe and runs done on completion.
+func (p *Pipe) Transfer(n int, done func()) {
+	if n < 0 {
+		panic("sim: negative transfer size")
+	}
+	p.moved += uint64(n)
+	occ := p.OccupancyFor(n)
+	lat := p.latency
+	p.srv.Submit(occ, func() {
+		switch {
+		case done == nil:
+		case lat > 0:
+			p.srv.k.After(lat, done)
+		default:
+			done()
+		}
+	})
+}
+
+// BytesMoved returns the total bytes accepted by the pipe.
+func (p *Pipe) BytesMoved() uint64 { return p.moved }
+
+// Bandwidth returns the pipe bandwidth in bytes per second.
+func (p *Pipe) Bandwidth() float64 { return p.bytesPerSec }
+
+// Utilization tracks how many units of a resource pool are active over
+// time, producing both a time-weighted mean and a downsampled timeline
+// (used for the paper's Figure 15 active-channels/dies plots).
+type Utilization struct {
+	active   int
+	last     Time
+	weighted float64 // ∫ active dt
+	peak     int
+	points   []UtilPoint
+	maxPts   int
+}
+
+// UtilPoint is one sample of the active-unit count.
+type UtilPoint struct {
+	At     Time
+	Active int
+}
+
+// NewUtilization returns a tracker keeping at most maxPoints timeline
+// samples (0 means keep none, only aggregate statistics).
+func NewUtilization(maxPoints int) *Utilization {
+	return &Utilization{maxPts: maxPoints}
+}
+
+// Add records a change of delta active units at time t.
+func (u *Utilization) Add(t Time, delta int) {
+	if t > u.last {
+		u.weighted += float64(u.active) * float64(t-u.last)
+		u.last = t
+	}
+	u.active += delta
+	if u.active < 0 {
+		panic("sim: utilization went negative")
+	}
+	if u.active > u.peak {
+		u.peak = u.active
+	}
+	if u.maxPts > 0 {
+		if len(u.points) == u.maxPts {
+			// Halve resolution: keep every other point.
+			kept := u.points[:0]
+			for i := 0; i < len(u.points); i += 2 {
+				kept = append(kept, u.points[i])
+			}
+			u.points = kept
+		}
+		u.points = append(u.points, UtilPoint{At: t, Active: u.active})
+	}
+}
+
+// Mean returns the time-weighted average active count over [0, end].
+func (u *Utilization) Mean(end Time) float64 {
+	if end <= 0 {
+		return 0
+	}
+	w := u.weighted
+	if end > u.last {
+		w += float64(u.active) * float64(end-u.last)
+	}
+	return w / float64(end)
+}
+
+// Peak returns the maximum simultaneous active count observed.
+func (u *Utilization) Peak() int { return u.peak }
+
+// Timeline returns the recorded (time, active) samples.
+func (u *Utilization) Timeline() []UtilPoint { return u.points }
+
+// WaitStats accumulates queueing-delay statistics.
+type WaitStats struct {
+	n     uint64
+	total Time
+	max   Time
+}
+
+// Observe records one queueing delay.
+func (w *WaitStats) Observe(d Time) {
+	w.n++
+	w.total += d
+	if d > w.max {
+		w.max = d
+	}
+}
+
+// Count returns the number of observations.
+func (w *WaitStats) Count() uint64 { return w.n }
+
+// Mean returns the average delay (0 if none observed).
+func (w *WaitStats) Mean() Time {
+	if w.n == 0 {
+		return 0
+	}
+	return w.total / Time(w.n)
+}
+
+// Max returns the largest delay observed.
+func (w *WaitStats) Max() Time { return w.max }
+
+// Total returns the summed delay.
+func (w *WaitStats) Total() Time { return w.total }

@@ -1,0 +1,289 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestKernelOrdering(t *testing.T) {
+	k := New()
+	var got []int
+	k.After(30, func() { got = append(got, 3) })
+	k.After(10, func() { got = append(got, 1) })
+	k.After(20, func() { got = append(got, 2) })
+	k.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if k.Now() != 30 {
+		t.Fatalf("Now = %v, want 30", k.Now())
+	}
+}
+
+func TestKernelFIFOTiebreak(t *testing.T) {
+	k := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(5, func() { got = append(got, i) })
+	}
+	k.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events ran out of insertion order: %v", got)
+		}
+	}
+}
+
+func TestKernelNestedScheduling(t *testing.T) {
+	k := New()
+	var times []Time
+	k.After(10, func() {
+		times = append(times, k.Now())
+		k.After(5, func() { times = append(times, k.Now()) })
+	})
+	k.Run()
+	if len(times) != 2 || times[0] != 10 || times[1] != 15 {
+		t.Fatalf("times = %v, want [10 15]", times)
+	}
+}
+
+func TestKernelPastSchedulingPanics(t *testing.T) {
+	k := New()
+	k.After(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		k.At(5, func() {})
+	})
+	k.Run()
+}
+
+func TestKernelNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay did not panic")
+		}
+	}()
+	New().After(-1, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	k := New()
+	ran := 0
+	k.After(10, func() { ran++ })
+	k.After(20, func() { ran++ })
+	k.After(30, func() { ran++ })
+	if drained := k.RunUntil(20); drained {
+		t.Fatal("RunUntil(20) reported drained with an event pending")
+	}
+	if ran != 2 {
+		t.Fatalf("ran = %d, want 2", ran)
+	}
+	if !k.RunUntil(100) {
+		t.Fatal("RunUntil(100) should drain")
+	}
+	if ran != 3 {
+		t.Fatalf("ran = %d, want 3", ran)
+	}
+}
+
+func TestDurationConversion(t *testing.T) {
+	if Duration(3*time.Microsecond) != 3*Microsecond {
+		t.Fatal("Duration conversion wrong")
+	}
+	if got := (1500 * Microsecond).String(); got != "1.500ms" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestKernelRandomOrderProperty(t *testing.T) {
+	// Property: regardless of scheduling order, callbacks execute in
+	// nondecreasing time order.
+	f := func(delays []uint16) bool {
+		k := New()
+		var seen []Time
+		for _, d := range delays {
+			k.After(Time(d), func() { seen = append(seen, k.Now()) })
+		}
+		k.Run()
+		return sort.SliceIsSorted(seen, func(i, j int) bool { return seen[i] < seen[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerSequential(t *testing.T) {
+	k := New()
+	s := NewServer(k, 1)
+	var ends []Time
+	for i := 0; i < 3; i++ {
+		s.Submit(10, func() { ends = append(ends, k.Now()) })
+	}
+	k.Run()
+	want := []Time{10, 20, 30}
+	for i := range want {
+		if ends[i] != want[i] {
+			t.Fatalf("ends = %v, want %v", ends, want)
+		}
+	}
+}
+
+func TestServerParallelWidth(t *testing.T) {
+	k := New()
+	s := NewServer(k, 2)
+	var ends []Time
+	for i := 0; i < 4; i++ {
+		s.Submit(10, func() { ends = append(ends, k.Now()) })
+	}
+	k.Run()
+	// Two start immediately (end at 10), next two queue (end at 20).
+	want := []Time{10, 10, 20, 20}
+	for i := range want {
+		if ends[i] != want[i] {
+			t.Fatalf("ends = %v, want %v", ends, want)
+		}
+	}
+}
+
+func TestServerWaitStats(t *testing.T) {
+	k := New()
+	s := NewServer(k, 1)
+	var ws WaitStats
+	s.SetWaitStats(&ws)
+	s.Submit(10, nil)
+	s.Submit(10, nil)
+	s.Submit(10, nil)
+	k.Run()
+	if ws.Count() != 3 {
+		t.Fatalf("count = %d", ws.Count())
+	}
+	if ws.Mean() != 10 { // waits 0, 10, 20 → mean 10
+		t.Fatalf("mean wait = %v, want 10", ws.Mean())
+	}
+	if ws.Max() != 20 {
+		t.Fatalf("max wait = %v, want 20", ws.Max())
+	}
+}
+
+func TestServerStartCallback(t *testing.T) {
+	k := New()
+	s := NewServer(k, 1)
+	var starts []Time
+	for i := 0; i < 2; i++ {
+		s.SubmitFull(7, func(at Time) { starts = append(starts, at) }, nil)
+	}
+	k.Run()
+	if starts[0] != 0 || starts[1] != 7 {
+		t.Fatalf("starts = %v, want [0 7]", starts)
+	}
+}
+
+func TestServerLittlesLawProperty(t *testing.T) {
+	// Property (conservation): for an M/D/1-style run, the server's busy
+	// fraction equals offered load when underloaded, and all work completes.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := New()
+		s := NewServer(k, 1)
+		u := NewUtilization(0)
+		s.SetUtilization(u)
+		const n = 100
+		done := 0
+		var at Time
+		for i := 0; i < n; i++ {
+			at += Time(rng.Intn(20)) // arrivals spaced 0..19
+			k.At(at, func() { s.Submit(5, func() { done++ }) })
+		}
+		k.Run()
+		if done != n {
+			return false
+		}
+		// total busy time must be exactly n * service.
+		busy := u.Mean(k.Now()) * float64(k.Now())
+		return int64(busy+0.5) == int64(n*5)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipeBandwidthAndLatency(t *testing.T) {
+	k := New()
+	// 1000 bytes/sec → 1 byte per millisecond.
+	p := NewPipe(k, 1000, 5)
+	var end Time
+	p.Transfer(10, func() { end = k.Now() })
+	k.Run()
+	// 10 bytes → 10 ms occupancy + 5 ns latency.
+	want := 10*Millisecond + 5
+	if end != want {
+		t.Fatalf("end = %v, want %v", end, want)
+	}
+	if p.BytesMoved() != 10 {
+		t.Fatalf("moved = %d", p.BytesMoved())
+	}
+}
+
+func TestPipeSerializesTransfers(t *testing.T) {
+	k := New()
+	p := NewPipe(k, 1000, 0)
+	var ends []Time
+	p.Transfer(10, func() { ends = append(ends, k.Now()) })
+	p.Transfer(10, func() { ends = append(ends, k.Now()) })
+	k.Run()
+	if ends[0] != 10*Millisecond || ends[1] != 20*Millisecond {
+		t.Fatalf("ends = %v", ends)
+	}
+}
+
+func TestUtilizationMeanAndPeak(t *testing.T) {
+	u := NewUtilization(16)
+	u.Add(0, +1)
+	u.Add(10, +1)
+	u.Add(20, -1)
+	u.Add(30, -1)
+	// active: 1 over [0,10), 2 over [10,20), 1 over [20,30) → mean 4/3 over 30.
+	got := u.Mean(30)
+	if got < 1.33 || got > 1.34 {
+		t.Fatalf("mean = %v", got)
+	}
+	if u.Peak() != 2 {
+		t.Fatalf("peak = %d", u.Peak())
+	}
+	if len(u.Timeline()) != 4 {
+		t.Fatalf("timeline len = %d", len(u.Timeline()))
+	}
+}
+
+func TestUtilizationDownsamples(t *testing.T) {
+	u := NewUtilization(8)
+	for i := 0; i < 100; i++ {
+		u.Add(Time(i), +1)
+	}
+	if len(u.Timeline()) > 8 {
+		t.Fatalf("timeline grew beyond cap: %d", len(u.Timeline()))
+	}
+	if u.Peak() != 100 {
+		t.Fatalf("peak = %d", u.Peak())
+	}
+}
+
+func TestUtilizationNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative active count did not panic")
+		}
+	}()
+	u := NewUtilization(0)
+	u.Add(0, -1)
+}

@@ -1,0 +1,137 @@
+// Package trace records and replays mini-batch target traces, making
+// cross-platform comparisons exactly workload-identical and letting
+// users feed captured production query streams into the simulator
+// instead of synthetic target selection.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"beacongnn/internal/graph"
+	"beacongnn/internal/xrand"
+)
+
+// Trace is a sequence of mini-batches of target node ids.
+type Trace struct {
+	Dataset   string    `json:"dataset"`
+	Nodes     int       `json:"nodes"` // node-id domain (targets < Nodes)
+	BatchSize int       `json:"batch_size"`
+	Seed      uint64    `json:"seed,omitempty"`
+	Skew      float64   `json:"skew,omitempty"`
+	Batches   [][]int32 `json:"batches"`
+}
+
+// Validate checks structural invariants.
+func (t *Trace) Validate() error {
+	switch {
+	case t.Nodes <= 0:
+		return fmt.Errorf("trace: node domain must be positive, got %d", t.Nodes)
+	case t.BatchSize <= 0:
+		return fmt.Errorf("trace: batch size must be positive, got %d", t.BatchSize)
+	case len(t.Batches) == 0:
+		return fmt.Errorf("trace: no batches")
+	}
+	for i, b := range t.Batches {
+		if len(b) != t.BatchSize {
+			return fmt.Errorf("trace: batch %d has %d targets, want %d", i, len(b), t.BatchSize)
+		}
+		for _, v := range b {
+			if v < 0 || int(v) >= t.Nodes {
+				return fmt.Errorf("trace: batch %d target %d outside [0,%d)", i, v, t.Nodes)
+			}
+		}
+	}
+	return nil
+}
+
+// Generate synthesizes a trace with the same selection procedure the
+// platform uses: uniform targets, or Zipf-skewed when skew > 0.
+func Generate(dataset string, nodes, batchSize, batches int, skew float64, seed uint64) (*Trace, error) {
+	t := &Trace{
+		Dataset: dataset, Nodes: nodes, BatchSize: batchSize,
+		Seed: seed, Skew: skew,
+		Batches: make([][]int32, batches),
+	}
+	rng := xrand.New(seed)
+	for i := range t.Batches {
+		b := make([]int32, batchSize)
+		for j := range b {
+			if skew > 0 {
+				b[j] = int32(rng.Zipf(nodes, skew))
+			} else {
+				b[j] = int32(rng.Intn(nodes))
+			}
+		}
+		t.Batches[i] = b
+	}
+	return t, t.Validate()
+}
+
+// Targets returns batch i's targets as graph node ids, wrapping around
+// when more batches are requested than recorded (steady-state runs).
+func (t *Trace) Targets(i int) []graph.NodeID {
+	b := t.Batches[i%len(t.Batches)]
+	out := make([]graph.NodeID, len(b))
+	for j, v := range b {
+		out[j] = graph.NodeID(v)
+	}
+	return out
+}
+
+// Save writes the trace as JSON.
+func (t *Trace) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(t)
+}
+
+// Load reads and validates a JSON trace.
+func Load(r io.Reader) (*Trace, error) {
+	var t Trace
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// HotSet returns the smallest set of distinct targets covering the
+// given fraction of all occurrences — a skewness diagnostic (uniform
+// traces need ~frac of the domain; hot traces need far fewer).
+func (t *Trace) HotSet(frac float64) int {
+	counts := map[int32]int{}
+	total := 0
+	for _, b := range t.Batches {
+		for _, v := range b {
+			counts[v]++
+			total++
+		}
+	}
+	// Selection-sort style extraction is fine at trace scale.
+	freqs := make([]int, 0, len(counts))
+	for _, c := range counts {
+		freqs = append(freqs, c)
+	}
+	// Sort descending.
+	for i := 0; i < len(freqs); i++ {
+		for j := i + 1; j < len(freqs); j++ {
+			if freqs[j] > freqs[i] {
+				freqs[i], freqs[j] = freqs[j], freqs[i]
+			}
+		}
+	}
+	need := int(frac * float64(total))
+	covered, n := 0, 0
+	for _, f := range freqs {
+		if covered >= need {
+			break
+		}
+		covered += f
+		n++
+	}
+	return n
+}

@@ -1,0 +1,217 @@
+// Package viz renders the evaluation's figures as plain-text charts —
+// horizontal bar charts (Fig. 14/19), multi-series line plots (Fig. 18),
+// and Gantt-style span timelines (Fig. 16) — so beaconbench reports are
+// readable without leaving the terminal. Stdlib only, deterministic
+// output, fully testable.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Bar is one labeled value of a bar chart.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// BarChart renders a horizontal bar chart scaled to width characters.
+// Values must be non-negative; the longest bar spans the full width.
+func BarChart(title string, bars []Bar, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	maxVal := 0.0
+	maxLabel := 0
+	for _, bar := range bars {
+		if bar.Value > maxVal {
+			maxVal = bar.Value
+		}
+		if len(bar.Label) > maxLabel {
+			maxLabel = len(bar.Label)
+		}
+	}
+	for _, bar := range bars {
+		n := 0
+		if maxVal > 0 {
+			n = int(bar.Value / maxVal * float64(width))
+		}
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(&b, "  %-*s %s%s %.2f\n", maxLabel, bar.Label,
+			strings.Repeat("█", n), strings.Repeat("·", width-n), bar.Value)
+	}
+	return b.String()
+}
+
+// Series is one named line of a line plot.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// LinePlot renders multiple series over shared x labels as a character
+// grid: rows are value levels (top = max), columns are x positions, and
+// each series draws with its own glyph.
+func LinePlot(title string, xLabels []string, series []Series, height int) string {
+	if height < 4 {
+		height = 4
+	}
+	glyphs := []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, v := range s.Values {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if math.IsInf(lo, 1) || hi == lo {
+		hi, lo = lo+1, lo-1
+	}
+	cols := len(xLabels)
+	colW := 8
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cols*colW))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for x, v := range s.Values {
+			if x >= cols {
+				break
+			}
+			row := int((hi - v) / (hi - lo) * float64(height-1))
+			grid[row][x*colW+colW/2] = g
+		}
+	}
+	for r, row := range grid {
+		level := hi - (hi-lo)*float64(r)/float64(height-1)
+		fmt.Fprintf(&b, "%10.2f |%s\n", level, string(row))
+	}
+	fmt.Fprintf(&b, "%10s +%s\n", "", strings.Repeat("-", cols*colW))
+	fmt.Fprintf(&b, "%10s  ", "")
+	for _, xl := range xLabels {
+		fmt.Fprintf(&b, "%-*s", colW, center(xl, colW))
+	}
+	fmt.Fprintln(&b)
+	fmt.Fprintf(&b, "%10s  ", "")
+	for si, s := range series {
+		fmt.Fprintf(&b, "%c=%s  ", glyphs[si%len(glyphs)], s.Name)
+	}
+	fmt.Fprintln(&b)
+	return b.String()
+}
+
+func center(s string, w int) string {
+	if len(s) >= w {
+		return s[:w]
+	}
+	pad := (w - len(s)) / 2
+	return strings.Repeat(" ", pad) + s
+}
+
+// Span is one labeled interval of a Gantt chart.
+type Span struct {
+	Label      string
+	Start, End float64
+}
+
+// Gantt renders spans on a shared time axis of the given width. Spans
+// sharing time render on their own rows, making hop overlap visible at
+// a glance (Fig. 16).
+func Gantt(title string, spans []Span, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	maxLabel := 0
+	for _, s := range spans {
+		lo = math.Min(lo, s.Start)
+		hi = math.Max(hi, s.End)
+		if len(s.Label) > maxLabel {
+			maxLabel = len(s.Label)
+		}
+	}
+	if math.IsInf(lo, 1) || hi <= lo {
+		return b.String()
+	}
+	scale := float64(width) / (hi - lo)
+	for _, s := range spans {
+		a := int((s.Start - lo) * scale)
+		z := int((s.End - lo) * scale)
+		if z <= a {
+			z = a + 1
+		}
+		if z > width {
+			z = width
+		}
+		fmt.Fprintf(&b, "  %-*s |%s%s%s|\n", maxLabel, s.Label,
+			strings.Repeat(" ", a), strings.Repeat("█", z-a), strings.Repeat(" ", width-z))
+	}
+	return b.String()
+}
+
+// Heat renders a labeled matrix as shaded cells (light→dark with
+// magnitude), normalized over the whole matrix.
+func Heat(title string, rowLabels, colLabels []string, values [][]float64) string {
+	shades := []rune(" ░▒▓█")
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	maxVal := 0.0
+	maxLabel := 0
+	for _, row := range values {
+		for _, v := range row {
+			if v > maxVal {
+				maxVal = v
+			}
+		}
+	}
+	for _, rl := range rowLabels {
+		if len(rl) > maxLabel {
+			maxLabel = len(rl)
+		}
+	}
+	const cellW = 10
+	fmt.Fprintf(&b, "  %-*s", maxLabel, "")
+	for _, cl := range colLabels {
+		fmt.Fprintf(&b, "%*s", cellW, cl)
+	}
+	fmt.Fprintln(&b)
+	for i, row := range values {
+		label := ""
+		if i < len(rowLabels) {
+			label = rowLabels[i]
+		}
+		fmt.Fprintf(&b, "  %-*s", maxLabel, label)
+		for _, v := range row {
+			idx := 0
+			if maxVal > 0 {
+				idx = int(v / maxVal * float64(len(shades)-1))
+			}
+			if idx >= len(shades) {
+				idx = len(shades) - 1
+			}
+			cell := fmt.Sprintf("%s%.1f", string(shades[idx]), v)
+			fmt.Fprintf(&b, "%*s", cellW, cell)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}

@@ -1,0 +1,107 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarChartScaling(t *testing.T) {
+	out := BarChart("title", []Bar{
+		{Label: "a", Value: 10},
+		{Label: "bb", Value: 5},
+		{Label: "c", Value: 0},
+	}, 20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "title" || len(lines) != 4 {
+		t.Fatalf("output:\n%s", out)
+	}
+	// The max bar is full width; half value → half width; zero → none.
+	if strings.Count(lines[1], "█") != 20 {
+		t.Fatalf("max bar wrong: %q", lines[1])
+	}
+	if strings.Count(lines[2], "█") != 10 {
+		t.Fatalf("half bar wrong: %q", lines[2])
+	}
+	if strings.Count(lines[3], "█") != 0 {
+		t.Fatalf("zero bar wrong: %q", lines[3])
+	}
+	// Labels align.
+	if !strings.Contains(lines[1], "a ") || !strings.Contains(lines[2], "bb") {
+		t.Fatal("labels missing")
+	}
+}
+
+func TestBarChartAllZero(t *testing.T) {
+	out := BarChart("", []Bar{{Label: "x", Value: 0}}, 10)
+	if strings.Contains(out, "█") {
+		t.Fatal("zero chart drew bars")
+	}
+}
+
+func TestLinePlotContainsSeries(t *testing.T) {
+	out := LinePlot("plot", []string{"1", "2", "4"}, []Series{
+		{Name: "up", Values: []float64{1, 2, 4}},
+		{Name: "flat", Values: []float64{2, 2, 2}},
+	}, 6)
+	if !strings.Contains(out, "plot") || !strings.Contains(out, "*=up") || !strings.Contains(out, "o=flat") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	// Rising series: its glyph appears on distinct rows.
+	rows := strings.Split(out, "\n")
+	starRows := 0
+	for _, r := range rows {
+		if strings.Contains(r, "*") && strings.Contains(r, "|") {
+			starRows++
+		}
+	}
+	if starRows < 2 {
+		t.Fatalf("rising series flat in plot:\n%s", out)
+	}
+}
+
+func TestLinePlotDegenerate(t *testing.T) {
+	// Constant values and empty series must not panic or divide by zero.
+	out := LinePlot("", []string{"a"}, []Series{{Name: "s", Values: []float64{5}}}, 4)
+	if len(out) == 0 {
+		t.Fatal("empty render")
+	}
+	_ = LinePlot("", nil, nil, 4)
+}
+
+func TestGanttOverlapVisible(t *testing.T) {
+	out := Gantt("hops", []Span{
+		{Label: "hop0", Start: 0, End: 10},
+		{Label: "hop1", Start: 5, End: 15},
+		{Label: "hop2", Start: 14, End: 20},
+	}, 40)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("output:\n%s", out)
+	}
+	// hop0 starts at column 0; hop1 starts mid-axis.
+	h0 := lines[1][strings.Index(lines[1], "|")+1:]
+	h1 := lines[2][strings.Index(lines[2], "|")+1:]
+	if !strings.HasPrefix(h0, "█") {
+		t.Fatalf("hop0 should start at t=0: %q", h0)
+	}
+	if strings.HasPrefix(h1, "█") {
+		t.Fatalf("hop1 should start later: %q", h1)
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	if out := Gantt("t", nil, 20); strings.Contains(out, "█") {
+		t.Fatal("empty gantt drew spans")
+	}
+}
+
+func TestHeatShades(t *testing.T) {
+	out := Heat("h", []string{"r1", "r2"}, []string{"c1", "c2"},
+		[][]float64{{0, 1}, {2, 4}})
+	if !strings.Contains(out, "c1") || !strings.Contains(out, "r2") {
+		t.Fatalf("labels missing:\n%s", out)
+	}
+	if !strings.Contains(out, "█4.0") {
+		t.Fatalf("max cell not darkest:\n%s", out)
+	}
+}

@@ -1,0 +1,128 @@
+// Package xrand implements the deterministic pseudo-random stream used to
+// stand in for BeaconGNN's on-die true random number generator (TRNG).
+//
+// The paper's die-level sampler draws one random number per neighbor
+// sample and reduces it with a modulo operation (Section V-A). For a
+// reproducible simulation, each die's TRNG is a splitmix64-seeded
+// xoshiro256** generator; the host-side reference sampler consumes the
+// same stream, which lets tests verify that in-storage sampling produces
+// exactly the subgraphs the reference implementation expects.
+package xrand
+
+import "math"
+
+// Source is a xoshiro256** PRNG. The zero value is invalid; use New.
+type Source struct {
+	s [4]uint64
+}
+
+// New returns a Source seeded via splitmix64 from the given seed, so any
+// seed (including 0) yields a well-mixed state.
+func New(seed uint64) *Source {
+	var src Source
+	src.Seed(seed)
+	return &src
+}
+
+// Seed resets the generator state from seed.
+func (r *Source) Seed(seed uint64) {
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := range r.s {
+		r.s[i] = next()
+	}
+	// xoshiro state must not be all zero; splitmix64 cannot produce
+	// four zero outputs in a row, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 1
+	}
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (r *Source) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+// This is the TRNG-plus-modulo reduction the die sampler performs.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float in [0, 1).
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := 1; i < n; i++ {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Fork returns a new independent Source derived from this one; streams of
+// parent and child do not overlap in practice. Used to give each flash
+// die its own TRNG from one experiment seed.
+func (r *Source) Fork() *Source { return New(r.Uint64()) }
+
+// Zipf draws from a bounded Zipf distribution over [0, n) with exponent
+// s > 0 (larger = more skew toward low indices), via inverse-transform
+// on the approximate Zipf CDF F(k) ≈ (k+1)^(1−s)−... implemented with
+// the standard rejection-free approximation for s ≠ 1:
+//
+//	k = ⌊ ((n^(1−s) − 1)·u + 1)^(1/(1−s)) ⌋ − 1-ish
+//
+// For s == 1 it falls back to the harmonic inverse. Used to model
+// skewed (hot-node) GNN query workloads.
+func (r *Source) Zipf(n int, s float64) int {
+	if n <= 0 {
+		panic("xrand: Zipf with non-positive n")
+	}
+	if n == 1 {
+		return 0
+	}
+	u := r.Float64()
+	if u <= 0 {
+		u = 1e-12
+	}
+	var x float64
+	if s == 1 {
+		// F(k) ∝ ln(k+1): invert ln.
+		x = math.Exp(u*math.Log(float64(n))) - 1
+	} else {
+		one := 1 - s
+		x = math.Exp(math.Log(u*(math.Exp(one*math.Log(float64(n)))-1)+1)/one) - 1
+	}
+	k := int(x)
+	if k < 0 {
+		k = 0
+	}
+	if k >= n {
+		k = n - 1
+	}
+	return k
+}

@@ -1,0 +1,186 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed sources diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical outputs", same)
+	}
+}
+
+func TestZeroSeedValid(t *testing.T) {
+	r := New(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed produced degenerate stream")
+	}
+}
+
+func TestIntnBoundsProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		r := New(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestUniformity(t *testing.T) {
+	// Chi-squared test over 16 buckets; loose bound to stay flake-free.
+	r := New(99)
+	const buckets, n = 16, 160000
+	var counts [buckets]int
+	for i := 0; i < n; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	expected := float64(n) / buckets
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 15 dof; p=0.001 critical value ≈ 37.7. Use 60 for slack.
+	if chi2 > 60 {
+		t.Fatalf("chi-squared = %v, distribution badly non-uniform", chi2)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw % 64)
+		p := New(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	parent := New(5)
+	child := parent.Fork()
+	// The child's stream must not equal the parent's subsequent stream.
+	same := 0
+	for i := 0; i < 64; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("fork overlapped parent stream %d times", same)
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("mean = %v, want ≈0.5", mean)
+	}
+}
+
+func TestZipfBoundsProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint16, sRaw uint8) bool {
+		n := int(nRaw%500) + 1
+		s := 0.5 + float64(sRaw%30)/10 // 0.5 .. 3.4
+		r := New(seed)
+		for i := 0; i < 30; i++ {
+			v := r.Zipf(n, s)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfSkewsLow(t *testing.T) {
+	r := New(4)
+	const n, draws = 1000, 50000
+	lowDecile := 0
+	for i := 0; i < draws; i++ {
+		if r.Zipf(n, 1.2) < n/10 {
+			lowDecile++
+		}
+	}
+	// With skew 1.2, far more than 10% of draws hit the first decile.
+	if frac := float64(lowDecile) / draws; frac < 0.5 {
+		t.Fatalf("first decile got %.2f of draws, want heavy skew", frac)
+	}
+}
+
+func TestZipfPanicsAndEdges(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Zipf(0, ...) did not panic")
+		}
+	}()
+	r := New(1)
+	if r.Zipf(1, 2.0) != 0 {
+		t.Error("Zipf(1) must be 0")
+	}
+	r.Zipf(0, 2.0)
+}
