@@ -8,11 +8,13 @@ package beacongnn
 
 import (
 	"fmt"
+	"io"
 	"sync"
 	"testing"
 
 	"beacongnn/internal/array"
 	"beacongnn/internal/config"
+	"beacongnn/internal/core"
 	"beacongnn/internal/dataset"
 	"beacongnn/internal/directgraph"
 	"beacongnn/internal/flash"
@@ -348,7 +350,7 @@ func BenchmarkEventKernel(b *testing.B) {
 	}
 }
 
-// --- ablation and extension benchmarks (DESIGN.md §5) ---
+// --- ablation and extension benchmarks (DESIGN.md §6) ---
 
 // BenchmarkAblationPipelining quantifies Section VI-D's mini-batch
 // prep/compute overlap.
@@ -455,3 +457,29 @@ func BenchmarkRegularIOInterference(b *testing.B) {
 	b.ReportMetric(mean.Micros(), "accel-mode-µs")
 	b.ReportMetric(idle.Micros(), "idle-µs")
 }
+
+// --- experiment-engine benchmarks ---
+
+// benchRunAll drives the full evaluation suite at reduced scale with a
+// fixed worker count, discarding the report text. A fresh Options value
+// per iteration keeps the per-engine memo cache cold, so each iteration
+// measures real simulation work; dataset instances stay warm in the
+// process-wide cache, identically for both variants.
+func benchRunAll(b *testing.B, workers int) {
+	b.Helper()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := &core.Options{Quick: true, ScaleNodes: 2500, Batches: 2, Workers: workers}
+		if err := core.RunAll(o, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunAllSequential is the single-worker baseline for the
+// parallel experiment engine.
+func BenchmarkRunAllSequential(b *testing.B) { benchRunAll(b, 1) }
+
+// BenchmarkRunAllParallel fans the same suite across all CPU cores; the
+// ratio to BenchmarkRunAllSequential is the engine's wall-clock win.
+func BenchmarkRunAllParallel(b *testing.B) { benchRunAll(b, 0) }

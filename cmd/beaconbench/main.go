@@ -6,7 +6,12 @@
 //	beaconbench -exp all            # everything, paper order
 //	beaconbench -exp fig14          # one experiment
 //	beaconbench -exp fig18 -quick   # shrunken sweep for a fast look
+//	beaconbench -exp all -parallel 8 # fan simulations over 8 workers
 //	beaconbench -list               # available experiment ids
+//
+// Simulations fan out across -parallel workers (default: all CPU
+// cores); output is byte-identical for any worker count, including
+// -parallel 1 (fully sequential).
 package main
 
 import (
@@ -19,12 +24,13 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (or 'all')")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		quick   = flag.Bool("quick", false, "reduced scales and sweeps")
-		nodes   = flag.Int("nodes", 0, "materialized nodes per dataset (0 = default)")
-		batches = flag.Int("batches", 0, "mini-batches per simulation (0 = default)")
-		jsonOut = flag.Bool("json", false, "emit the numeric series as JSON instead of text")
+		exp      = flag.String("exp", "all", "experiment id (or 'all')")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		quick    = flag.Bool("quick", false, "reduced scales and sweeps")
+		nodes    = flag.Int("nodes", 0, "materialized nodes per dataset (0 = default)")
+		batches  = flag.Int("batches", 0, "mini-batches per simulation (0 = default)")
+		jsonOut  = flag.Bool("json", false, "emit the numeric series as JSON instead of text")
+		parallel = flag.Int("parallel", 0, "concurrent simulations (0 = all CPU cores, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -34,7 +40,7 @@ func main() {
 		}
 		return
 	}
-	o := &core.Options{Quick: *quick, ScaleNodes: *nodes, Batches: *batches}
+	o := &core.Options{Quick: *quick, ScaleNodes: *nodes, Batches: *batches, Workers: *parallel}
 	if *jsonOut {
 		rep, err := core.BuildReport(o)
 		if err == nil {

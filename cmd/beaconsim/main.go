@@ -1,5 +1,5 @@
-// Command beaconsim runs one platform × dataset simulation and prints
-// its full measurement report: throughput, utilization, latency
+// Command beaconsim runs platform × dataset simulations and prints the
+// full measurement report of each: throughput, utilization, latency
 // breakdowns, hop timeline, and energy.
 //
 // Usage:
@@ -7,16 +7,24 @@
 //	beaconsim -platform BG-2 -dataset amazon
 //	beaconsim -platform CC -dataset reddit -batches 8 -nodes 20000
 //	beaconsim -platform BG-DGSP -dataset OGBN -read-latency 20us
+//	beaconsim -platform all -parallel 8       # every platform, 8 workers
+//	beaconsim -platform CC,BG-1,BG-2          # a comparison subset
+//
+// With a platform list (comma-separated, or "all"), the simulations fan
+// out across -parallel workers (default: all CPU cores) and the reports
+// print in list order — identical output for any worker count.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"beacongnn/internal/config"
 	"beacongnn/internal/dataset"
+	"beacongnn/internal/exp"
 	"beacongnn/internal/metrics"
 	"beacongnn/internal/platform"
 	"beacongnn/internal/sim"
@@ -24,16 +32,17 @@ import (
 
 func main() {
 	var (
-		plat    = flag.String("platform", "BG-2", "platform: CC, SmartSage, GList, BG-1, BG-DG, BG-SP, BG-DGSP, BG-2")
-		ds      = flag.String("dataset", "amazon", "dataset: reddit, amazon, movielens, OGBN, PPI")
-		nodes   = flag.Int("nodes", 10000, "materialized graph nodes")
-		batches = flag.Int("batches", 6, "mini-batches to simulate")
-		batch   = flag.Int("batch", 0, "mini-batch size (0 = paper default 64)")
-		readLat = flag.Duration("read-latency", 0, "flash read latency override (e.g. 20us; 0 = ULL 3µs)")
-		chans   = flag.Int("channels", 0, "flash channel count override")
-		dies    = flag.Int("dies", 0, "dies per channel override")
-		cores   = flag.Int("cores", 0, "firmware core count override")
-		seed    = flag.Uint64("seed", 0, "experiment seed override")
+		plat     = flag.String("platform", "BG-2", "platform(s): CC, SmartSage, GList, BG-1, BG-DG, BG-SP, BG-DGSP, BG-2 — comma-separated, or 'all'")
+		ds       = flag.String("dataset", "amazon", "dataset: reddit, amazon, movielens, OGBN, PPI")
+		nodes    = flag.Int("nodes", 10000, "materialized graph nodes")
+		batches  = flag.Int("batches", 6, "mini-batches to simulate")
+		batch    = flag.Int("batch", 0, "mini-batch size (0 = paper default 64)")
+		readLat  = flag.Duration("read-latency", 0, "flash read latency override (e.g. 20us; 0 = ULL 3µs)")
+		chans    = flag.Int("channels", 0, "flash channel count override")
+		dies     = flag.Int("dies", 0, "dies per channel override")
+		cores    = flag.Int("cores", 0, "firmware core count override")
+		seed     = flag.Uint64("seed", 0, "experiment seed override")
+		parallel = flag.Int("parallel", 0, "concurrent simulations for platform lists (0 = all CPU cores)")
 	)
 	flag.Parse()
 
@@ -57,7 +66,7 @@ func main() {
 		cfg.Seed = *seed
 	}
 
-	kind, err := platform.ByName(*plat)
+	kinds, err := parsePlatforms(*plat)
 	if err != nil {
 		fatal(err)
 	}
@@ -76,13 +85,45 @@ func main() {
 		inst.Build.Stats.PrimaryPages, inst.Build.Stats.SecondaryPages,
 		inst.Build.Stats.InflationRatio()*100, time.Since(start).Round(time.Millisecond))
 
+	eng := exp.New(*parallel)
 	start = time.Now()
-	res, err := platform.Simulate(kind, cfg, inst, *batches, 1024)
+	results, err := exp.Map(kinds, func(k platform.Kind) (*platform.Result, error) {
+		return eng.Simulate(k, cfg, inst, *batches, 1024)
+	})
 	if err != nil {
 		fatal(err)
 	}
+	wall := time.Since(start).Round(time.Millisecond)
+	for _, res := range results {
+		report(res, cfg, wall)
+	}
+	if len(kinds) > 1 {
+		fmt.Printf("\n%d simulations in %v wall on %d workers\n", len(kinds), wall, eng.Workers())
+	}
+}
+
+// parsePlatforms expands "all" or a comma-separated platform list.
+func parsePlatforms(s string) ([]platform.Kind, error) {
+	if strings.EqualFold(s, "all") {
+		return platform.All(), nil
+	}
+	var kinds []platform.Kind
+	for _, name := range strings.Split(s, ",") {
+		k, err := platform.ByName(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		kinds = append(kinds, k)
+	}
+	if len(kinds) == 0 {
+		return nil, fmt.Errorf("beaconsim: no platforms given")
+	}
+	return kinds, nil
+}
+
+func report(res *platform.Result, cfg config.Config, wall time.Duration) {
 	fmt.Printf("\n%s on %s — %d batches × %d targets in %v simulated (%v wall)\n",
-		res.Platform, res.Dataset, res.Batches, cfg.GNN.BatchSize, res.Elapsed, time.Since(start).Round(time.Millisecond))
+		res.Platform, res.Dataset, res.Batches, cfg.GNN.BatchSize, res.Elapsed, wall)
 	fmt.Printf("throughput        %.0f targets/s\n", res.Throughput)
 	fmt.Printf("flash reads       %d (%.1f per target), %.1f MB over channels\n",
 		res.FlashReads, float64(res.FlashReads)/float64(res.Targets), float64(res.BusBytes)/1e6)

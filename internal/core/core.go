@@ -5,23 +5,29 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"beacongnn/internal/config"
 	"beacongnn/internal/dataset"
+	"beacongnn/internal/exp"
 	"beacongnn/internal/platform"
 )
 
 // Options tunes experiment execution. The zero value is completed by
-// (*Options).fill: paper-base config, 10 000-node instances, 6 batches.
+// (*Options).fill: paper-base config, 10 000-node instances, 6 batches,
+// one simulation worker per CPU core.
 type Options struct {
 	Cfg        config.Config
 	ScaleNodes int  // materialized node count per dataset
 	Batches    int  // mini-batches per simulation
 	Quick      bool // shrink sweeps for CI-speed runs
+	Workers    int  // concurrent simulations (0 = GOMAXPROCS, 1 = sequential)
 	filled     bool
+	eng        *exp.Engine
 }
 
 func (o *Options) fill() {
@@ -43,7 +49,17 @@ func (o *Options) fill() {
 		}
 		o.Batches = 3
 	}
+	o.eng = exp.New(o.Workers)
 	o.filled = true
+}
+
+// engine returns the Options' parallel experiment engine, creating it on
+// first use. Every simulation a runner requests goes through it, so a
+// given (platform, dataset, config) triple is simulated at most once per
+// Options value regardless of how many figures need it.
+func (o *Options) engine() *exp.Engine {
+	o.fill()
+	return o.eng
 }
 
 // Experiment is one reproducible table or figure.
@@ -90,52 +106,152 @@ func ids() []string {
 	return out
 }
 
-// RunAll executes every experiment in order.
+// RunAll executes every experiment. The experiments run concurrently —
+// each into its own buffer, sharing the Options' simulation engine and
+// caches — and the buffers are flushed to w in paper order, so the
+// output is byte-identical to a sequential run.
 func RunAll(o *Options, w io.Writer) error {
-	for _, e := range Experiments() {
-		fmt.Fprintf(w, "\n===== %s — %s =====\n", e.ID, e.Title)
-		if err := e.Run(o, w); err != nil {
-			return fmt.Errorf("%s: %w", e.ID, err)
+	o.fill()
+	exps := Experiments()
+	bufs, err := exp.Map(exps, func(e Experiment) (*bytes.Buffer, error) {
+		var b bytes.Buffer
+		fmt.Fprintf(&b, "\n===== %s — %s =====\n", e.ID, e.Title)
+		if err := e.Run(o, &b); err != nil {
+			return nil, fmt.Errorf("%s: %w", e.ID, err)
+		}
+		return &b, nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, b := range bufs {
+		if _, err := w.Write(b.Bytes()); err != nil {
+			return err
 		}
 	}
 	return nil
 }
 
-// instance materializes one dataset at the options' scale, caching per
-// (name, pageSize) within the Options value.
+// instance materializes one dataset at a given scale, caching globally
+// per (name, nodes, pageSize, seed) — everything Materialize depends on,
+// so changing the seed or scale between Options values can never return
+// a stale instance. The cache is safe under the parallel engine:
+// concurrent requests for the same key materialize once, and distinct
+// keys materialize concurrently (throttled by the caller's engine).
 type instKey struct {
 	name     string
+	nodes    int
 	pageSize int
+	seed     uint64
 }
 
-var instCache = map[instKey]*dataset.Instance{}
+type instEntry struct {
+	done chan struct{}
+	inst *dataset.Instance
+	err  error
+}
 
-func (o *Options) instance(name string) (*dataset.Instance, error) {
+var (
+	instMu    sync.Mutex
+	instCache = map[instKey]*instEntry{}
+)
+
+// instanceAt materializes (or fetches) a dataset instance for an
+// explicit page size and seed — sweeps that mutate either get their own
+// cache entries.
+func (o *Options) instanceAt(name string, pageSize int, seed uint64) (*dataset.Instance, error) {
 	o.fill()
 	d, err := dataset.ByName(name)
 	if err != nil {
 		return nil, err
 	}
-	key := instKey{name, o.Cfg.Flash.PageSize}
-	if inst, ok := instCache[key]; ok && inst.Graph.NumNodes() == o.ScaleNodes {
-		return inst, nil
+	key := instKey{name, o.ScaleNodes, pageSize, seed}
+	instMu.Lock()
+	ent, ok := instCache[key]
+	if ok {
+		instMu.Unlock()
+		<-ent.done
+		return ent.inst, ent.err
 	}
-	inst, err := dataset.Materialize(d, o.ScaleNodes, o.Cfg.Flash.PageSize, o.Cfg.Seed)
-	if err != nil {
-		return nil, err
-	}
-	instCache[key] = inst
-	return inst, nil
+	ent = &instEntry{done: make(chan struct{})}
+	instCache[key] = ent
+	instMu.Unlock()
+
+	o.engine().Throttle(func() {
+		ent.inst, ent.err = dataset.Materialize(d, o.ScaleNodes, pageSize, seed)
+	})
+	close(ent.done)
+	return ent.inst, ent.err
 }
 
-// simulate runs one platform on a named dataset.
+func (o *Options) instance(name string) (*dataset.Instance, error) {
+	o.fill()
+	return o.instanceAt(name, o.Cfg.Flash.PageSize, o.Cfg.Seed)
+}
+
+// simulate runs one platform on a named dataset under the Options'
+// config, memoized and throttled by the engine.
 func (o *Options) simulate(k platform.Kind, name string, timeline int) (*platform.Result, error) {
 	o.fill()
-	inst, err := o.instance(name)
+	return o.simulateCfg(k, o.Cfg, name, timeline)
+}
+
+// simulateCfg is simulate with an explicit configuration, for runners
+// that perturb the base config (sweeps, the traditional-SSD study).
+func (o *Options) simulateCfg(k platform.Kind, cfg config.Config, name string, timeline int) (*platform.Result, error) {
+	o.fill()
+	inst, err := o.instanceAt(name, cfg.Flash.PageSize, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
-	return platform.Simulate(k, o.Cfg, inst, o.Batches, timeline)
+	return o.engine().Simulate(k, cfg, inst, o.Batches, timeline)
+}
+
+// simulateGrid fans every (dataset, platform) pair out across the
+// engine and returns results indexed [dataset][platform] in input
+// order, ready for deterministic formatting.
+func (o *Options) simulateGrid(cfg config.Config, datasets []string, kinds []platform.Kind, timeline int) ([][]*platform.Result, error) {
+	o.fill()
+	type cell struct{ d, k int }
+	var cells []cell
+	for di := range datasets {
+		for ki := range kinds {
+			cells = append(cells, cell{di, ki})
+		}
+	}
+	flat, err := exp.Map(cells, func(c cell) (*platform.Result, error) {
+		return o.simulateCfg(kinds[c.k], cfg, datasets[c.d], timeline)
+	})
+	if err != nil {
+		return nil, err
+	}
+	grid := make([][]*platform.Result, len(datasets))
+	for i, c := range cells {
+		if grid[c.d] == nil {
+			grid[c.d] = make([]*platform.Result, len(kinds))
+		}
+		grid[c.d][c.k] = flat[i]
+	}
+	return grid, nil
+}
+
+// simulateOn fans every platform in kinds out on one dataset and
+// returns results in kinds order.
+func (o *Options) simulateOn(cfg config.Config, name string, kinds []platform.Kind, timeline int) ([]*platform.Result, error) {
+	grid, err := o.simulateGrid(cfg, []string{name}, kinds, timeline)
+	if err != nil {
+		return nil, err
+	}
+	return grid[0], nil
+}
+
+// datasetNames returns every benchmark dataset name in paper order.
+func datasetNames() []string {
+	var out []string
+	for _, d := range dataset.All() {
+		out = append(out, d.Name)
+	}
+	return out
 }
 
 // normalizeTo divides every value by the base key's value.

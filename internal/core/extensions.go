@@ -5,60 +5,100 @@ import (
 	"io"
 
 	"beacongnn/internal/array"
+	"beacongnn/internal/exp"
 	"beacongnn/internal/platform"
+	"beacongnn/internal/sim"
 )
 
-// RunExtensions reports the beyond-the-paper studies (DESIGN.md §5):
+// RunExtensions reports the beyond-the-paper studies (DESIGN.md §6):
 // design ablations, the Section VIII scale-out array, DirectGraph
 // construction throughput (§VI-B), and regular-I/O interference in
-// acceleration mode (§VI-G).
+// acceleration mode (§VI-G). The studies are independent, so they all
+// run concurrently on the experiment engine; results are printed in a
+// fixed order once everything has finished.
 func RunExtensions(o *Options, w io.Writer) error {
 	o.fill()
+	eng := o.engine()
+
+	// Configs for the ablations and the skew study. Each is a value
+	// copy; nothing below mutates o.Cfg.
+	pipeOff := o.Cfg
+	pipeOff.Ablation.NoPipeline = true
+	coalOn := o.Cfg
+	coalOn.GNN.Fanout = 6
+	coalOff := coalOn
+	coalOff.Ablation.NoCoalesce = true
+	zipf := o.Cfg
+	zipf.GNN.TargetSkew = 1.4
+
+	var (
+		on, off, con, coff, z *platform.Result
+		sweep                 []*array.Result
+		cons                  *platform.ConstructionResult
+		ioStats               *platform.RegularIOStats
+		idle                  sim.Time
+	)
+	err := exp.Go(
+		func() (err error) { on, err = o.simulateCfg(platform.BG2, o.Cfg, "amazon", 0); return },
+		func() (err error) { off, err = o.simulateCfg(platform.BG2, pipeOff, "amazon", 0); return },
+		func() (err error) { con, err = o.simulateCfg(platform.BG2, coalOn, "reddit", 0); return },
+		func() (err error) { coff, err = o.simulateCfg(platform.BG2, coalOff, "reddit", 0); return },
+		func() (err error) { z, err = o.simulateCfg(platform.BG2, zipf, "amazon", 0); return },
+		func() error {
+			inst, err := o.instance("amazon")
+			if err != nil {
+				return err
+			}
+			eng.Throttle(func() {
+				sweep, err = array.Sweep(platform.BG2, o.Cfg, array.Config{P2PBandwidth: 4e9}, inst, o.Batches, 8)
+			})
+			return err
+		},
+		func() error {
+			inst, err := o.instance("amazon")
+			if err != nil {
+				return err
+			}
+			eng.Throttle(func() {
+				cons, err = platform.SimulateConstruction(o.Cfg, inst)
+			})
+			return err
+		},
+		func() error {
+			inst, err := o.instance("amazon")
+			if err != nil {
+				return err
+			}
+			eng.Throttle(func() {
+				var s *platform.System
+				s, err = platform.NewSystem(platform.BG2, o.Cfg, inst, 0)
+				if err != nil {
+					return
+				}
+				_, ioStats, err = s.RunWithRegularIO(o.Batches)
+			})
+			return err
+		},
+		func() (err error) {
+			eng.Throttle(func() { idle, err = platform.RegularIOBaseline(o.Cfg) })
+			return
+		},
+	)
+	if err != nil {
+		return err
+	}
 
 	// Ablation: mini-batch pipelining (§VI-D).
-	inst, err := o.instance("amazon")
-	if err != nil {
-		return err
-	}
-	on, err := platform.Simulate(platform.BG2, o.Cfg, inst, o.Batches, 0)
-	if err != nil {
-		return err
-	}
-	cfg := o.Cfg
-	cfg.Ablation.NoPipeline = true
-	off, err := platform.Simulate(platform.BG2, cfg, inst, o.Batches, 0)
-	if err != nil {
-		return err
-	}
 	fmt.Fprintf(w, "ablation: prep/compute pipelining (§VI-D)  on %.0f t/s, off %.0f t/s → %.2f× gain\n",
 		on.Throughput, off.Throughput, on.Throughput/off.Throughput)
 
 	// Ablation: secondary-command coalescing (§V-A) on a high-degree graph.
-	rinst, err := o.instance("reddit")
-	if err != nil {
-		return err
-	}
-	ccfg := o.Cfg
-	ccfg.GNN.Fanout = 6
-	con, err := platform.Simulate(platform.BG2, ccfg, rinst, o.Batches, 0)
-	if err != nil {
-		return err
-	}
-	ccfg.Ablation.NoCoalesce = true
-	coff, err := platform.Simulate(platform.BG2, ccfg, rinst, o.Batches, 0)
-	if err != nil {
-		return err
-	}
 	fmt.Fprintf(w, "ablation: secondary coalescing (§V-A)      reads %d → %d without (%.2f× amplification)\n",
 		con.FlashReads, coff.FlashReads, float64(coff.FlashReads)/float64(con.FlashReads))
 
 	// Scale-out array (§VIII).
 	fmt.Fprintln(w, "scale-out array (§VIII), BG-2 on amazon, 4 GB/s P2P links:")
 	fmt.Fprintf(w, "  %-8s %10s %12s %14s %8s\n", "devices", "speedup", "capacity", "P2P demand", "bound")
-	sweep, err := array.Sweep(platform.BG2, o.Cfg, array.Config{P2PBandwidth: 4e9}, inst, o.Batches, 8)
-	if err != nil {
-		return err
-	}
 	for _, r := range sweep {
 		bound := "—"
 		if r.FabricBound {
@@ -69,36 +109,14 @@ func RunExtensions(o *Options, w io.Writer) error {
 	}
 
 	// DirectGraph construction (§VI-B).
-	cons, err := platform.SimulateConstruction(o.Cfg, inst)
-	if err != nil {
-		return err
-	}
 	fmt.Fprintf(w, "DirectGraph flush (§VI-B): %d pages in %v → %.0f MB/s\n",
 		cons.Pages, cons.Elapsed, cons.Bandwidth/1e6)
 
 	// Regular-I/O interference (§VI-G).
-	s, err := platform.NewSystem(platform.BG2, o.Cfg, inst, 0)
-	if err != nil {
-		return err
-	}
-	_, ioStats, err := s.RunWithRegularIO(o.Batches)
-	if err != nil {
-		return err
-	}
-	idle, err := platform.RegularIOBaseline(o.Cfg)
-	if err != nil {
-		return err
-	}
 	fmt.Fprintf(w, "regular I/O (§VI-G): idle-device read %v; in acceleration mode %v mean (deferral %v)\n",
 		idle, ioStats.MeanLatency, ioStats.MeanDeferral)
 
 	// Skewed (hot-node) targets.
-	zcfg := o.Cfg
-	zcfg.GNN.TargetSkew = 1.4
-	z, err := platform.Simulate(platform.BG2, zcfg, inst, o.Batches, 0)
-	if err != nil {
-		return err
-	}
 	fmt.Fprintf(w, "hot-node targets (Zipf 1.4): %.0f t/s vs %.0f uniform (%.0f%%), mean dies %.1f vs %.1f\n",
 		z.Throughput, on.Throughput, z.Throughput/on.Throughput*100, z.MeanDies, on.MeanDies)
 	return nil

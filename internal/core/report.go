@@ -5,6 +5,8 @@ import (
 	"io"
 
 	"beacongnn/internal/dataset"
+	"beacongnn/internal/directgraph"
+	"beacongnn/internal/exp"
 	"beacongnn/internal/flash"
 	"beacongnn/internal/platform"
 	"beacongnn/internal/sim"
@@ -80,98 +82,138 @@ func BuildReport(o *Options) (*Report, error) {
 		Util:       map[string]UtilSummary{},
 	}
 
-	// Fig 7.
-	for n := 1; n <= o.Cfg.Flash.DiesPerChannel; n++ {
-		res, err := flash.RunChannelContention(o.Cfg.Flash, n, 2*sim.Millisecond)
-		if err != nil {
-			return nil, err
-		}
-		rep.Fig7 = append(rep.Fig7, Fig7Point{
-			Dies: n, PagesPerS: res.Throughput,
-			AvgLatency: res.AvgLatency.Micros(), BusUtil: res.ChannelBusFrac,
-		})
-	}
-
-	// Fig 14 (+ utilization summaries on amazon).
-	for _, d := range dataset.All() {
-		row := Fig14Row{Dataset: d.Name, Values: map[string]float64{}}
-		for _, k := range platform.All() {
-			r, err := o.simulate(k, d.Name, 0)
-			if err != nil {
-				return nil, err
+	eng := o.engine()
+	err := exp.Go(
+		// Fig 7.
+		func() error {
+			counts := make([]int, o.Cfg.Flash.DiesPerChannel)
+			for i := range counts {
+				counts[i] = i + 1
 			}
-			row.Values[k.String()] = r.Throughput
-			if d.Name == "amazon" {
-				rep.Util[k.String()] = UtilSummary{
-					MeanDies: r.MeanDies, MeanChannels: r.MeanChannels, HopOverlap: r.HopOverlap,
+			points, err := exp.Map(counts, func(n int) (flash.ContentionResult, error) {
+				var res flash.ContentionResult
+				var err error
+				eng.Throttle(func() {
+					res, err = flash.RunChannelContention(o.Cfg.Flash, n, 2*sim.Millisecond)
+				})
+				return res, err
+			})
+			if err != nil {
+				return err
+			}
+			for i, res := range points {
+				rep.Fig7 = append(rep.Fig7, Fig7Point{
+					Dies: counts[i], PagesPerS: res.Throughput,
+					AvgLatency: res.AvgLatency.Micros(), BusUtil: res.ChannelBusFrac,
+				})
+			}
+			return nil
+		},
+		// Fig 14 (+ utilization summaries on amazon).
+		func() error {
+			grid, err := o.simulateGrid(o.Cfg, datasetNames(), platform.All(), 0)
+			if err != nil {
+				return err
+			}
+			for di, d := range dataset.All() {
+				row := Fig14Row{Dataset: d.Name, Values: map[string]float64{}}
+				for ki, k := range platform.All() {
+					r := grid[di][ki]
+					row.Values[k.String()] = r.Throughput
+					if d.Name == "amazon" {
+						rep.Util[k.String()] = UtilSummary{
+							MeanDies: r.MeanDies, MeanChannels: r.MeanChannels, HopOverlap: r.HopOverlap,
+						}
+					}
+				}
+				rep.Fig14 = append(rep.Fig14, row)
+				rep.Fig14N = append(rep.Fig14N, Fig14Row{
+					Dataset: d.Name,
+					Values:  normalizeTo(row.Values, platform.CC.String()),
+				})
+			}
+			return nil
+		},
+		// Fig 18 sweeps.
+		func() error {
+			sweeps := Fig18Sweeps(o.Quick)
+			all, err := exp.Map(sweeps, func(s Sweep) (map[string][]float64, error) {
+				return RunSweep(o, s)
+			})
+			if err != nil {
+				return err
+			}
+			for si, s := range sweeps {
+				ss := SweepSeries{Name: s.Name, Series: all[si]}
+				for _, pt := range s.Points {
+					ss.Points = append(ss.Points, pt.Label)
+				}
+				rep.Fig18 = append(rep.Fig18, ss)
+			}
+			return nil
+		},
+		// Fig 19.
+		func() error {
+			results, err := o.simulateOn(o.Cfg, "amazon", platform.All(), 0)
+			if err != nil {
+				return err
+			}
+			for ki, k := range platform.All() {
+				r := results[ki]
+				rep.Fig19 = append(rep.Fig19, EnergyRow{
+					Platform: k.String(), Groups: r.EnergyGroup,
+					PowerW: r.AvgPowerW, Efficiency: r.Efficiency,
+				})
+			}
+			return nil
+		},
+		// Traditional SSD.
+		func() error {
+			cfg := o.Cfg
+			cfg.Flash.ReadLatency = 20 * sim.Microsecond
+			kinds := append([]platform.Kind{platform.CC}, platform.BGOnly()...)
+			grid, err := o.simulateGrid(cfg, datasetNames(), kinds, 0)
+			if err != nil {
+				return err
+			}
+			for di := range dataset.All() {
+				tput := map[string]float64{}
+				for ki, k := range kinds {
+					tput[k.String()] = grid[di][ki].Throughput
+				}
+				for k, v := range normalizeTo(tput, platform.CC.String()) {
+					rep.Trad[k] += v / float64(len(dataset.All()))
 				}
 			}
-		}
-		rep.Fig14 = append(rep.Fig14, row)
-		rep.Fig14N = append(rep.Fig14N, Fig14Row{
-			Dataset: d.Name,
-			Values:  normalizeTo(row.Values, platform.CC.String()),
-		})
-	}
-
-	// Fig 18 sweeps.
-	for _, s := range Fig18Sweeps(o.Quick) {
-		series, err := RunSweep(o, s)
-		if err != nil {
-			return nil, err
-		}
-		ss := SweepSeries{Name: s.Name, Series: series}
-		for _, pt := range s.Points {
-			ss.Points = append(ss.Points, pt.Label)
-		}
-		rep.Fig18 = append(rep.Fig18, ss)
-	}
-
-	// Fig 19.
-	for _, k := range platform.All() {
-		r, err := o.simulate(k, "amazon", 0)
-		if err != nil {
-			return nil, err
-		}
-		rep.Fig19 = append(rep.Fig19, EnergyRow{
-			Platform: k.String(), Groups: r.EnergyGroup,
-			PowerW: r.AvgPowerW, Efficiency: r.Efficiency,
-		})
-	}
-
-	// Traditional SSD.
-	saved := o.Cfg.Flash.ReadLatency
-	o.Cfg.Flash.ReadLatency = 20 * sim.Microsecond
-	kinds := append([]platform.Kind{platform.CC}, platform.BGOnly()...)
-	for _, d := range dataset.All() {
-		tput := map[string]float64{}
-		for _, k := range kinds {
-			r, err := o.simulate(k, d.Name, 0)
-			if err != nil {
-				o.Cfg.Flash.ReadLatency = saved
-				return nil, err
+			return nil
+		},
+		// Table IV.
+		func() error {
+			sample := 200_000
+			if o.Quick {
+				sample = 40_000
 			}
-			tput[k.String()] = r.Throughput
-		}
-		for k, v := range normalizeTo(tput, platform.CC.String()) {
-			rep.Trad[k] += v / float64(len(dataset.All()))
-		}
-	}
-	o.Cfg.Flash.ReadLatency = saved
-
-	// Table IV.
-	sample := 200_000
-	if o.Quick {
-		sample = 40_000
-	}
-	for _, d := range dataset.All() {
-		st, err := dataset.FullScaleInflation(d, o.Cfg.Flash.PageSize, sample, o.Cfg.Seed)
-		if err != nil {
-			return nil, err
-		}
-		rep.Table4 = append(rep.Table4, InflationRow{
-			Dataset: d.Name, RawGB: d.RawGB, Inflation: st.InflationRatio(),
-		})
+			stats, err := exp.Map(dataset.All(), func(d dataset.Desc) (directgraph.Stats, error) {
+				var st directgraph.Stats
+				var err error
+				eng.Throttle(func() {
+					st, err = dataset.FullScaleInflation(d, o.Cfg.Flash.PageSize, sample, o.Cfg.Seed)
+				})
+				return st, err
+			})
+			if err != nil {
+				return err
+			}
+			for i, d := range dataset.All() {
+				rep.Table4 = append(rep.Table4, InflationRow{
+					Dataset: d.Name, RawGB: d.RawGB, Inflation: stats[i].InflationRatio(),
+				})
+			}
+			return nil
+		},
+	)
+	if err != nil {
+		return nil, err
 	}
 	return rep, nil
 }

@@ -5,6 +5,8 @@ import (
 	"io"
 
 	"beacongnn/internal/dataset"
+	"beacongnn/internal/directgraph"
+	"beacongnn/internal/exp"
 	"beacongnn/internal/flash"
 	"beacongnn/internal/metrics"
 	"beacongnn/internal/platform"
@@ -50,18 +52,28 @@ func RunTable3(o *Options, w io.Writer) error {
 // dies on one channel grow from 1 to 8.
 func RunFig7(o *Options, w io.Writer) error {
 	o.fill()
+	counts := make([]int, o.Cfg.Flash.DiesPerChannel)
+	for i := range counts {
+		counts[i] = i + 1
+	}
+	eng := o.engine()
+	points, err := exp.Map(counts, func(n int) (flash.ContentionResult, error) {
+		var res flash.ContentionResult
+		var err error
+		eng.Throttle(func() {
+			res, err = flash.RunChannelContention(o.Cfg.Flash, n, 2*sim.Millisecond)
+		})
+		return res, err
+	})
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "%6s %16s %14s %12s\n", "dies", "pages/s", "avg latency", "bus util")
-	var first flash.ContentionResult
-	for n := 1; n <= o.Cfg.Flash.DiesPerChannel; n++ {
-		res, err := flash.RunChannelContention(o.Cfg.Flash, n, 2*sim.Millisecond)
-		if err != nil {
-			return err
-		}
-		if n == 1 {
-			first = res
-		}
+	for i, res := range points {
+		n := counts[i]
 		fmt.Fprintf(w, "%6d %16.0f %14v %11.0f%%\n", n, res.Throughput, res.AvgLatency, res.ChannelBusFrac*100)
 		if n == o.Cfg.Flash.DiesPerChannel {
+			first := points[0]
 			fmt.Fprintf(w, "1→%d dies: throughput +%.0f%%, latency ×%.1f (paper: +49%%, ×7.7)\n",
 				n, (res.Throughput/first.Throughput-1)*100,
 				float64(res.AvgLatency)/float64(first.AvgLatency))
@@ -72,22 +84,24 @@ func RunFig7(o *Options, w io.Writer) error {
 
 // RunFig14 reproduces Figure 14: throughput of all eight platforms on
 // all five datasets, normalized to CC per dataset, plus the averages.
+// The 40 simulations fan out across the engine; formatting happens
+// afterwards from the ordered grid, so output is worker-count-invariant.
 func RunFig14(o *Options, w io.Writer) error {
 	o.fill()
+	grid, err := o.simulateGrid(o.Cfg, datasetNames(), platform.All(), 0)
+	if err != nil {
+		return err
+	}
 	avg := map[string]float64{}
 	fmt.Fprintf(w, "%-11s", "dataset")
 	for _, k := range platform.All() {
 		fmt.Fprintf(w, "%10s", k)
 	}
 	fmt.Fprintln(w)
-	for _, d := range dataset.All() {
+	for di, d := range dataset.All() {
 		tput := map[string]float64{}
-		for _, k := range platform.All() {
-			r, err := o.simulate(k, d.Name, 0)
-			if err != nil {
-				return err
-			}
-			tput[k.String()] = r.Throughput
+		for ki, k := range platform.All() {
+			tput[k.String()] = grid[di][ki].Throughput
 		}
 		norm := normalizeTo(tput, platform.CC.String())
 		fmt.Fprintf(w, "%-11s", d.Name)
@@ -116,18 +130,19 @@ func RunFig14(o *Options, w io.Writer) error {
 func RunFig15(o *Options, w io.Writer) error {
 	o.fill()
 	kinds := []platform.Kind{platform.BGSP, platform.BGDGSP, platform.BG2}
+	grid, err := o.simulateGrid(o.Cfg, datasetNames(), kinds, 512)
+	if err != nil {
+		return err
+	}
 	var rows []string
 	dieCells := [][]float64{}
 	chCells := [][]float64{}
-	for _, d := range dataset.All() {
+	for di, d := range dataset.All() {
 		fmt.Fprintf(w, "-- %s\n", d.Name)
 		dieRow := []float64{}
 		chRow := []float64{}
-		for _, k := range kinds {
-			r, err := o.simulate(k, d.Name, 512)
-			if err != nil {
-				return err
-			}
+		for ki, k := range kinds {
+			r := grid[di][ki]
 			fmt.Fprintf(w, "  %-8s mean dies %6.1f/%d  mean channels %5.2f/%d  hop overlap %.2f\n",
 				r.Platform, r.MeanDies, o.Cfg.Flash.TotalDies(),
 				r.MeanChannels, o.Cfg.Flash.Channels, r.HopOverlap)
@@ -200,16 +215,16 @@ func RunFig15f(o *Options, w io.Writer) error {
 		metrics.PhaseDRAM:     1,
 		metrics.PhaseAccel:    1,
 	}
+	results, err := o.simulateOn(o.Cfg, "amazon", platform.All(), 0)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "%-10s", "platform")
 	for _, p := range phases {
 		fmt.Fprintf(w, "%10s", p)
 	}
 	fmt.Fprintln(w)
-	for _, k := range platform.All() {
-		r, err := o.simulate(k, "amazon", 0)
-		if err != nil {
-			return err
-		}
+	for _, r := range results {
 		eff := map[metrics.Phase]float64{}
 		total := 0.0
 		for _, s := range r.Phases {
@@ -230,11 +245,12 @@ func RunFig15f(o *Options, w io.Writer) error {
 // RunFig16 reproduces Figure 16: per-hop activity spans on amazon.
 func RunFig16(o *Options, w io.Writer) error {
 	o.fill()
-	for _, k := range []platform.Kind{platform.BG1, platform.BGDG, platform.BGSP, platform.BGDGSP, platform.BG2} {
-		r, err := o.simulate(k, "amazon", 0)
-		if err != nil {
-			return err
-		}
+	results, err := o.simulateOn(o.Cfg, "amazon",
+		[]platform.Kind{platform.BG1, platform.BGDG, platform.BGSP, platform.BGDGSP, platform.BG2}, 0)
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
 		fmt.Fprintf(w, "%-8s overlap %.2f\n", r.Platform, r.HopOverlap)
 		var spans []viz.Span
 		for _, s := range r.HopSpans {
@@ -252,13 +268,13 @@ func RunFig16(o *Options, w io.Writer) error {
 // RunFig17 reproduces Figure 17: mean per-command lifetime phases.
 func RunFig17(o *Options, w io.Writer) error {
 	o.fill()
+	results, err := o.simulateOn(o.Cfg, "amazon", platform.All(), 0)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "%-10s %14s %12s %14s %12s %12s\n",
 		"platform", "wait_before", "flash", "wait_after", "channel", "lifetime")
-	for _, k := range platform.All() {
-		r, err := o.simulate(k, "amazon", 0)
-		if err != nil {
-			return err
-		}
+	for _, r := range results {
 		bd := r.CmdBreakdown
 		fmt.Fprintf(w, "%-10s %14v %12v %14v %12v %12v\n", r.Platform,
 			bd[metrics.PhaseWaitBefore], bd[metrics.PhaseFlash],
@@ -268,31 +284,30 @@ func RunFig17(o *Options, w io.Writer) error {
 	return nil
 }
 
-// RunFig19 reproduces Figure 19: energy grouping and efficiency.
+// RunFig19 reproduces Figure 19: energy grouping and efficiency. One
+// simulation pass feeds both the table and the bar chart — the old code
+// re-simulated every platform a second time just to build the bars.
 func RunFig19(o *Options, w io.Writer) error {
 	o.fill()
+	results, err := o.simulateOn(o.Cfg, "amazon", platform.All(), 0)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "%-10s %8s %10s %10s %8s %10s %12s %14s %10s\n",
 		"platform", "flash", "transfer", "frontend", "accel", "external", "avg power", "targets/s/W", "vs CC")
 	var ccEff float64
-	for _, k := range platform.All() {
-		r, err := o.simulate(k, "amazon", 0)
-		if err != nil {
-			return err
-		}
+	for ki, k := range platform.All() {
 		if k == platform.CC {
-			ccEff = r.Efficiency
+			ccEff = results[ki].Efficiency
 		}
+	}
+	var bars []viz.Bar
+	for ki, k := range platform.All() {
+		r := results[ki]
 		g := r.EnergyGroup
 		fmt.Fprintf(w, "%-10s %7.0f%% %9.0f%% %9.0f%% %7.0f%% %9.0f%% %10.1fW %14.0f %10.2f\n",
 			r.Platform, g["flash"]*100, g["transfer"]*100, g["frontend"]*100, g["accel"]*100, g["external"]*100,
 			r.AvgPowerW, r.Efficiency, r.Efficiency/ccEff)
-	}
-	var bars []viz.Bar
-	for _, k := range platform.All() {
-		r, err := o.simulate(k, "amazon", 0)
-		if err != nil {
-			return err
-		}
 		bars = append(bars, viz.Bar{Label: k.String(), Value: r.Efficiency / ccEff})
 	}
 	fmt.Fprint(w, viz.BarChart("energy efficiency vs CC", bars, 48))
@@ -304,20 +319,22 @@ func RunFig19(o *Options, w io.Writer) error {
 // 20 µs-read conventional SSD.
 func RunTraditional(o *Options, w io.Writer) error {
 	o.fill()
-	saved := o.Cfg.Flash.ReadLatency
-	o.Cfg.Flash.ReadLatency = 20 * sim.Microsecond
-	defer func() { o.Cfg.Flash.ReadLatency = saved }()
+	// A value-copied config keeps the experiment self-contained: nothing
+	// mutates o.Cfg, so RunTraditional can run concurrently with every
+	// other experiment under RunAll.
+	cfg := o.Cfg
+	cfg.Flash.ReadLatency = 20 * sim.Microsecond
 
 	kinds := append([]platform.Kind{platform.CC}, platform.BGOnly()...)
+	grid, err := o.simulateGrid(cfg, datasetNames(), kinds, 0)
+	if err != nil {
+		return err
+	}
 	avg := map[string]float64{}
-	for _, d := range dataset.All() {
+	for di := range dataset.All() {
 		tput := map[string]float64{}
-		for _, k := range kinds {
-			r, err := o.simulate(k, d.Name, 0)
-			if err != nil {
-				return err
-			}
-			tput[k.String()] = r.Throughput
+		for ki, k := range kinds {
+			tput[k.String()] = grid[di][ki].Throughput
 		}
 		norm := normalizeTo(tput, platform.CC.String())
 		for k, v := range norm {
@@ -341,13 +358,21 @@ func RunTable4(o *Options, w io.Writer) error {
 		sample = 40_000
 	}
 	paper := map[string]float64{"reddit": 2.8, "amazon": 4.1, "movielens": 3.5, "OGBN": 32.3, "PPI": 3.5}
+	eng := o.engine()
+	stats, err := exp.Map(dataset.All(), func(d dataset.Desc) (directgraph.Stats, error) {
+		var st directgraph.Stats
+		var err error
+		eng.Throttle(func() {
+			st, err = dataset.FullScaleInflation(d, o.Cfg.Flash.PageSize, sample, o.Cfg.Seed)
+		})
+		return st, err
+	})
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "%-10s %10s %12s %12s\n", "dataset", "raw GB", "inflation", "paper")
-	for _, d := range dataset.All() {
-		st, err := dataset.FullScaleInflation(d, o.Cfg.Flash.PageSize, sample, o.Cfg.Seed)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(w, "%-10s %10.1f %11.1f%% %11.1f%%\n", d.Name, d.RawGB, st.InflationRatio()*100, paper[d.Name])
+	for i, d := range dataset.All() {
+		fmt.Fprintf(w, "%-10s %10.1f %11.1f%% %11.1f%%\n", d.Name, d.RawGB, stats[i].InflationRatio()*100, paper[d.Name])
 	}
 	return nil
 }

@@ -5,7 +5,7 @@ import (
 	"io"
 
 	"beacongnn/internal/config"
-	"beacongnn/internal/dataset"
+	"beacongnn/internal/exp"
 	"beacongnn/internal/platform"
 	"beacongnn/internal/viz"
 )
@@ -89,41 +89,56 @@ func Fig18Sweeps(quick bool) []Sweep {
 
 // RunSweep executes one sweep on the amazon workload (the paper's
 // representative dataset) and returns throughput per platform per point.
+// Every (point, platform) cell runs in parallel; page-size points get
+// their own DirectGraph build through the shared instance cache, so a
+// rebuild happens at most once per page size.
 func RunSweep(o *Options, s Sweep) (map[string][]float64, error) {
 	o.fill()
-	out := map[string][]float64{}
-	for _, pt := range s.Points {
+	kinds := platform.BGOnly()
+	type cell struct {
+		pt int
+		k  int
+	}
+	var cells []cell
+	for pi := range s.Points {
+		for ki := range kinds {
+			cells = append(cells, cell{pi, ki})
+		}
+	}
+	flat, err := exp.Map(cells, func(c cell) (*platform.Result, error) {
 		cfg := o.Cfg
-		pt.Apply(&cfg)
-		d, err := dataset.ByName("amazon")
+		s.Points[c.pt].Apply(&cfg)
+		r, err := o.simulateCfg(kinds[c.k], cfg, "amazon", 0)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("%s %s=%s: %w", kinds[c.k], s.Name, s.Points[c.pt].Label, err)
 		}
-		// Page-size changes require rebuilding the DirectGraph.
-		inst, err := dataset.Materialize(d, o.ScaleNodes, cfg.Flash.PageSize, cfg.Seed)
-		if err != nil {
-			return nil, err
-		}
-		for _, k := range platform.BGOnly() {
-			r, err := platform.Simulate(k, cfg, inst, o.Batches, 0)
-			if err != nil {
-				return nil, fmt.Errorf("%s %s=%s: %w", k, s.Name, pt.Label, err)
-			}
-			out[k.String()] = append(out[k.String()], r.Throughput)
-		}
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := map[string][]float64{}
+	for i, c := range cells {
+		k := kinds[c.k].String()
+		out[k] = append(out[k], flat[i].Throughput)
 	}
 	return out, nil
 }
 
-// RunFig18 executes all six sweeps and prints each platform's series
-// normalized to its own minimum (the paper's normalization).
+// RunFig18 executes all six sweeps — concurrently, every (sweep, point,
+// platform) cell an independent simulation — and prints each platform's
+// series normalized to its own minimum (the paper's normalization).
 func RunFig18(o *Options, w io.Writer) error {
 	o.fill()
-	for _, s := range Fig18Sweeps(o.Quick) {
-		res, err := RunSweep(o, s)
-		if err != nil {
-			return err
-		}
+	sweeps := Fig18Sweeps(o.Quick)
+	all, err := exp.Map(sweeps, func(s Sweep) (map[string][]float64, error) {
+		return RunSweep(o, s)
+	})
+	if err != nil {
+		return err
+	}
+	for si, s := range sweeps {
+		res := all[si]
 		fmt.Fprintf(w, "-- %s\n", s.Name)
 		fmt.Fprintf(w, "   %-9s", "")
 		for _, pt := range s.Points {

@@ -1,0 +1,190 @@
+// Package exp is the parallel experiment engine: it fans independent
+// platform simulations out across CPU cores while keeping every
+// experiment's rendered output byte-identical to a sequential run.
+//
+// The design exploits the simulation methodology this repository
+// inherits from SimpleSSD-style simulators: each platform.Simulate call
+// is a self-contained, deterministic event loop over private state (its
+// own sim.Kernel, RNGs, meters) that only reads the shared dataset
+// instance. The full evaluation is therefore embarrassingly parallel
+// across runs even though each kernel is strictly serial inside.
+//
+// Two mechanisms compose:
+//
+//   - a worker-limited scheduler (Throttle / Simulate): heavy leaf work
+//     holds one of W slots, where W defaults to runtime.GOMAXPROCS(0).
+//     Structured fan-out (Map) deliberately does NOT hold a slot, so
+//     nested fan-outs — RunAll over experiments, an experiment over its
+//     simulations — never deadlock and only leaves compete for cores;
+//   - a memoized simulation cache keyed by (platform kind, dataset name,
+//     materialized node count, config digest, batches, timeline points),
+//     so each distinct simulation executes at most once per engine, no
+//     matter how many figures ask for it. Determinism makes the cached
+//     result indistinguishable from a re-run.
+//
+// Determinism contract: callers collect results first (Map preserves
+// input order) and format afterwards; with that discipline, output is
+// byte-identical for any worker count, including 1.
+package exp
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+
+	"beacongnn/internal/config"
+	"beacongnn/internal/dataset"
+	"beacongnn/internal/platform"
+)
+
+// Engine schedules simulations across a bounded worker pool and memoizes
+// their results. It is safe for concurrent use. The zero value is not
+// usable; call New.
+type Engine struct {
+	sem chan struct{} // one token per concurrently running leaf
+
+	mu   sync.Mutex
+	memo map[SimKey]*memoEntry
+	hits uint64
+	runs uint64
+}
+
+// New returns an engine running at most workers leaves concurrently.
+// workers <= 0 selects runtime.GOMAXPROCS(0).
+func New(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{
+		sem:  make(chan struct{}, workers),
+		memo: make(map[SimKey]*memoEntry),
+	}
+}
+
+// Workers returns the configured parallel width.
+func (e *Engine) Workers() int { return cap(e.sem) }
+
+// Stats returns the number of simulations executed and the number served
+// from the memo cache.
+func (e *Engine) Stats() (runs, hits uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.runs, e.hits
+}
+
+// Throttle runs fn while holding one worker slot. Use it around heavy
+// leaf work that is not a platform simulation (dataset materialization,
+// contention microbenchmarks, inflation sampling) so the pool bounds
+// total CPU oversubscription. Do not wrap calls that themselves wait on
+// other throttled work — waiting must never hold a slot.
+func (e *Engine) Throttle(fn func()) {
+	e.sem <- struct{}{}
+	defer func() { <-e.sem }()
+	fn()
+}
+
+// SimKey identifies one memoizable simulation.
+type SimKey struct {
+	Kind     platform.Kind
+	Dataset  string
+	Nodes    int    // materialized node count of the instance
+	Digest   uint64 // ConfigDigest of the full config
+	Batches  int
+	Timeline int
+}
+
+type memoEntry struct {
+	done chan struct{} // closed when res/err are valid
+	res  *platform.Result
+	err  error
+}
+
+// ConfigDigest returns a stable digest of every field of the config.
+// Config is a tree of scalar value types, so its Go-syntax representation
+// is a canonical encoding; FNV-64a over it gives a cheap, deterministic
+// key component. Any config change — seed, ablations, timing, geometry —
+// changes the digest and therefore misses the cache.
+func ConfigDigest(cfg config.Config) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%#v", cfg)
+	return h.Sum64()
+}
+
+// Key builds the cache key for a simulation request.
+func Key(kind platform.Kind, cfg config.Config, inst *dataset.Instance, batches, timeline int) SimKey {
+	return SimKey{
+		Kind:     kind,
+		Dataset:  inst.Desc.Name,
+		Nodes:    inst.Graph.NumNodes(),
+		Digest:   ConfigDigest(cfg),
+		Batches:  batches,
+		Timeline: timeline,
+	}
+}
+
+// Simulate runs (or returns the memoized result of) one platform
+// simulation, holding a worker slot only while actually simulating.
+// Concurrent requests for the same key deduplicate: one caller runs, the
+// rest wait on its completion without consuming slots. The returned
+// Result is shared between all callers and must be treated as read-only.
+func (e *Engine) Simulate(kind platform.Kind, cfg config.Config, inst *dataset.Instance, batches, timeline int) (*platform.Result, error) {
+	if inst == nil {
+		return nil, fmt.Errorf("exp: nil dataset instance")
+	}
+	key := Key(kind, cfg, inst, batches, timeline)
+	e.mu.Lock()
+	ent, ok := e.memo[key]
+	if ok {
+		e.hits++
+		e.mu.Unlock()
+		<-ent.done
+		return ent.res, ent.err
+	}
+	ent = &memoEntry{done: make(chan struct{})}
+	e.memo[key] = ent
+	e.runs++
+	e.mu.Unlock()
+
+	e.Throttle(func() {
+		ent.res, ent.err = platform.Simulate(kind, cfg, inst, batches, timeline)
+	})
+	close(ent.done)
+	return ent.res, ent.err
+}
+
+// Map applies f to every item concurrently and returns the results in
+// input order, which is what makes downstream formatting deterministic.
+// Map itself is unbounded — parallelism is limited where the work is,
+// inside Simulate/Throttle leaves — so Maps nest freely. If any call
+// fails, the error of the lowest-indexed failure is returned (again for
+// determinism); the result slice is still fully populated with whatever
+// succeeded.
+func Map[T, R any](items []T, f func(T) (R, error)) ([]R, error) {
+	out := make([]R, len(items))
+	errs := make([]error, len(items))
+	var wg sync.WaitGroup
+	wg.Add(len(items))
+	for i := range items {
+		go func(i int) {
+			defer wg.Done()
+			out[i], errs[i] = f(items[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// Go runs every job concurrently and waits for all of them, returning
+// the lowest-indexed error. Like Map, it does not hold worker slots.
+func Go(jobs ...func() error) error {
+	_, err := Map(jobs, func(j func() error) (struct{}, error) {
+		return struct{}{}, j()
+	})
+	return err
+}

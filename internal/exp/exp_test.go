@@ -1,0 +1,184 @@
+package exp
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"beacongnn/internal/config"
+	"beacongnn/internal/dataset"
+	"beacongnn/internal/platform"
+)
+
+func testInstance(t testing.TB) *dataset.Instance {
+	t.Helper()
+	d, err := dataset.ByName("amazon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := config.Default()
+	inst, err := dataset.Materialize(d, 2000, cfg.Flash.PageSize, cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestConfigDigestDistinguishesFields(t *testing.T) {
+	base := config.Default()
+	mutants := []func(*config.Config){
+		func(c *config.Config) { c.Seed++ },
+		func(c *config.Config) { c.Flash.PageSize *= 2 },
+		func(c *config.Config) { c.Flash.ReadLatency *= 2 },
+		func(c *config.Config) { c.GNN.BatchSize++ },
+		func(c *config.Config) { c.Ablation.NoPipeline = true },
+		func(c *config.Config) { c.Firmware.Cores++ },
+	}
+	d0 := ConfigDigest(base)
+	if d0 != ConfigDigest(base) {
+		t.Fatal("digest not stable")
+	}
+	for i, m := range mutants {
+		c := base
+		m(&c)
+		if ConfigDigest(c) == d0 {
+			t.Errorf("mutant %d did not change the digest", i)
+		}
+	}
+}
+
+func TestSimulateMemoizes(t *testing.T) {
+	e := New(4)
+	inst := testInstance(t)
+	cfg := config.Default()
+
+	r1, err := e.Simulate(platform.BG2, cfg, inst, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e.Simulate(platform.BG2, cfg, inst, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatal("second identical request was not served from the cache")
+	}
+	runs, hits := e.Stats()
+	if runs != 1 || hits != 1 {
+		t.Fatalf("runs=%d hits=%d, want 1/1", runs, hits)
+	}
+	// A different key must miss.
+	if _, err := e.Simulate(platform.BG1, cfg, inst, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed++
+	if _, err := e.Simulate(platform.BG2, cfg, inst, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	runs, _ = e.Stats()
+	if runs != 3 {
+		t.Fatalf("runs=%d, want 3 distinct simulations", runs)
+	}
+}
+
+func TestSimulateConcurrentDedup(t *testing.T) {
+	e := New(8)
+	inst := testInstance(t)
+	cfg := config.Default()
+	const callers = 16
+	results := make([]*platform.Result, callers)
+	var wg sync.WaitGroup
+	wg.Add(callers)
+	for i := 0; i < callers; i++ {
+		go func(i int) {
+			defer wg.Done()
+			r, err := e.Simulate(platform.BGSP, cfg, inst, 2, 0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = r
+		}(i)
+	}
+	wg.Wait()
+	runs, hits := e.Stats()
+	if runs != 1 {
+		t.Fatalf("runs=%d, want 1 (concurrent requests must dedupe)", runs)
+	}
+	if hits != callers-1 {
+		t.Fatalf("hits=%d, want %d", hits, callers-1)
+	}
+	for i := 1; i < callers; i++ {
+		if results[i] != results[0] {
+			t.Fatal("concurrent callers got different result pointers")
+		}
+	}
+}
+
+func TestThrottleBoundsConcurrency(t *testing.T) {
+	const width = 3
+	e := New(width)
+	var active, peak, over int32
+	err := Go(func() error {
+		_, err := Map(make([]int, 64), func(int) (struct{}, error) {
+			e.Throttle(func() {
+				n := atomic.AddInt32(&active, 1)
+				for {
+					p := atomic.LoadInt32(&peak)
+					if n <= p || atomic.CompareAndSwapInt32(&peak, p, n) {
+						break
+					}
+				}
+				if n > width {
+					atomic.AddInt32(&over, 1)
+				}
+				atomic.AddInt32(&active, -1)
+			})
+			return struct{}{}, nil
+		})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over != 0 {
+		t.Fatalf("observed %d over-width executions (peak %d > %d)", over, peak, width)
+	}
+}
+
+func TestMapPreservesOrderAndLowestError(t *testing.T) {
+	items := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	out, err := Map(items, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+	e3 := errors.New("three")
+	e5 := errors.New("five")
+	_, err = Map(items, func(i int) (int, error) {
+		switch i {
+		case 3:
+			return 0, e3
+		case 5:
+			return 0, e5
+		}
+		return i, nil
+	})
+	if !errors.Is(err, e3) {
+		t.Fatalf("err = %v, want lowest-indexed failure %v", err, e3)
+	}
+}
+
+func TestNewDefaultsToGOMAXPROCS(t *testing.T) {
+	if w := New(0).Workers(); w <= 0 {
+		t.Fatalf("Workers = %d", w)
+	}
+	if w := New(5).Workers(); w != 5 {
+		t.Fatalf("Workers = %d, want 5", w)
+	}
+}

@@ -12,7 +12,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"time"
@@ -58,30 +57,84 @@ type event struct {
 	fn  func()
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before orders events by (time, insertion sequence).
+func (e event) before(o event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
+	return e.seq < o.seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) peek() (Time, bool) { // earliest event time
-	if len(h) == 0 {
+
+// eventQueue is a slice-backed 4-ary min-heap of events. A concrete heap
+// avoids container/heap's per-operation interface boxing (one allocation
+// per Push/Pop), and the 4-ary shape halves the tree depth, so sift-downs
+// touch fewer cache lines than a binary heap on the simulator's typical
+// queue depths.
+type eventQueue struct {
+	ev []event
+}
+
+func (q *eventQueue) len() int { return len(q.ev) }
+
+func (q *eventQueue) push(e event) {
+	q.ev = append(q.ev, e)
+	i := len(q.ev) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !q.ev[i].before(q.ev[p]) {
+			break
+		}
+		q.ev[i], q.ev[p] = q.ev[p], q.ev[i]
+		i = p
+	}
+}
+
+func (q *eventQueue) pop() event {
+	top := q.ev[0]
+	n := len(q.ev) - 1
+	q.ev[0] = q.ev[n]
+	q.ev[n] = event{} // drop the fn reference so closures can be collected
+	q.ev = q.ev[:n]
+	if n > 1 {
+		q.siftDown(0)
+	}
+	return top
+}
+
+func (q *eventQueue) siftDown(i int) {
+	n := len(q.ev)
+	for {
+		best := i
+		first := 4*i + 1
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first; c < last; c++ {
+			if q.ev[c].before(q.ev[best]) {
+				best = c
+			}
+		}
+		if best == i {
+			return
+		}
+		q.ev[i], q.ev[best] = q.ev[best], q.ev[i]
+		i = best
+	}
+}
+
+func (q *eventQueue) peek() (Time, bool) { // earliest event time
+	if len(q.ev) == 0 {
 		return 0, false
 	}
-	return h[0].at, true
+	return q.ev[0].at, true
 }
 
 // Kernel is the discrete-event engine. The zero value is ready to use.
 type Kernel struct {
 	now    Time
 	seq    uint64
-	events eventHeap
+	events eventQueue
 	steps  uint64
 }
 
@@ -95,7 +148,7 @@ func (k *Kernel) Now() Time { return k.now }
 func (k *Kernel) Steps() uint64 { return k.steps }
 
 // Pending returns the number of events waiting in the queue.
-func (k *Kernel) Pending() int { return len(k.events) }
+func (k *Kernel) Pending() int { return k.events.len() }
 
 // At schedules fn to run at absolute simulated time t. Scheduling in the
 // past panics: it would silently reorder causality.
@@ -104,7 +157,7 @@ func (k *Kernel) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, k.now))
 	}
 	k.seq++
-	heap.Push(&k.events, event{at: t, seq: k.seq, fn: fn})
+	k.events.push(event{at: t, seq: k.seq, fn: fn})
 }
 
 // After schedules fn to run d nanoseconds from now. Negative delays panic.
@@ -117,7 +170,7 @@ func (k *Kernel) After(d Time, fn func()) {
 
 // Run executes events until the queue is empty.
 func (k *Kernel) Run() {
-	for len(k.events) > 0 {
+	for k.events.len() > 0 {
 		k.step()
 	}
 }
@@ -139,7 +192,7 @@ func (k *Kernel) RunUntil(limit Time) bool {
 }
 
 func (k *Kernel) step() {
-	e := heap.Pop(&k.events).(event)
+	e := k.events.pop()
 	k.now = e.at
 	k.steps++
 	e.fn()
@@ -153,7 +206,11 @@ type Server struct {
 	k     *Kernel
 	width int
 	busy  int
+	// The FIFO is a head-indexed slice: popping advances head instead of
+	// reslicing (queue = queue[1:]), so the backing array is reused when
+	// the queue drains and pops never leak the popped prefix.
 	queue []serverReq
+	head  int
 	util  *Utilization
 	wait  *WaitStats
 }
@@ -186,7 +243,30 @@ func (s *Server) Width() int { return s.width }
 func (s *Server) Busy() int { return s.busy }
 
 // QueueLen returns the number of waiting (not yet started) requests.
-func (s *Server) QueueLen() int { return len(s.queue) }
+func (s *Server) QueueLen() int { return len(s.queue) - s.head }
+
+// popFront removes and returns the oldest waiting request.
+func (s *Server) popFront() serverReq {
+	r := s.queue[s.head]
+	s.queue[s.head] = serverReq{} // release callback references
+	s.head++
+	switch {
+	case s.head == len(s.queue):
+		// Drained: rewind to reuse the backing array.
+		s.queue = s.queue[:0]
+		s.head = 0
+	case s.head > 32 && s.head > len(s.queue)/2:
+		// Mostly-consumed prefix: compact so the array cannot grow
+		// without bound under a persistent backlog.
+		n := copy(s.queue, s.queue[s.head:])
+		for i := n; i < len(s.queue); i++ {
+			s.queue[i] = serverReq{}
+		}
+		s.queue = s.queue[:n]
+		s.head = 0
+	}
+	return r
+}
 
 // Submit enqueues a request needing the given service time. done runs when
 // service completes; it may be nil.
@@ -227,10 +307,8 @@ func (s *Server) begin(r serverReq) {
 		if r.done != nil {
 			r.done()
 		}
-		if len(s.queue) > 0 && s.busy < s.width {
-			next := s.queue[0]
-			s.queue = s.queue[1:]
-			s.begin(next)
+		if s.QueueLen() > 0 && s.busy < s.width {
+			s.begin(s.popFront())
 		}
 	})
 }

@@ -287,3 +287,82 @@ func TestUtilizationNegativePanics(t *testing.T) {
 	u := NewUtilization(0)
 	u.Add(0, -1)
 }
+
+func TestEventQueueHeapProperty(t *testing.T) {
+	// Property: the 4-ary heap drains in (time, seq) order for arbitrary
+	// interleavings of pushes and pops.
+	f := func(delays []uint16) bool {
+		var q eventQueue
+		var seq uint64
+		for i, d := range delays {
+			seq++
+			q.push(event{at: Time(d), seq: seq})
+			if i%3 == 2 && q.len() > 0 {
+				q.pop() // exercise mid-stream pops too
+			}
+		}
+		var prev event
+		first := true
+		for q.len() > 0 {
+			e := q.pop()
+			if !first && e.before(prev) {
+				return false
+			}
+			prev, first = e, false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerRingReusesBacklog(t *testing.T) {
+	// A long backlog through a width-1 server must complete in strict
+	// arrival order and leave the ring fully drained.
+	k := New()
+	s := NewServer(k, 1)
+	const n = 500
+	var order []int
+	for i := 0; i < n; i++ {
+		i := i
+		s.Submit(3, func() { order = append(order, i) })
+	}
+	if got := s.QueueLen(); got != n-1 {
+		t.Fatalf("QueueLen = %d, want %d", got, n-1)
+	}
+	k.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("completion order broken at %d: %v", i, v)
+		}
+	}
+	if s.QueueLen() != 0 || s.head != 0 || len(s.queue) != 0 {
+		t.Fatalf("ring not drained: head=%d len=%d", s.head, len(s.queue))
+	}
+}
+
+func TestServerInterleavedArrivals(t *testing.T) {
+	// Arrivals interleaved with completions exercise the ring compaction
+	// path; order and count must be preserved.
+	k := New()
+	s := NewServer(k, 2)
+	var order []int
+	next := 0
+	var feed func()
+	feed = func() {
+		if next >= 300 {
+			return
+		}
+		i := next
+		next++
+		s.Submit(Time(5+i%3), func() { order = append(order, i) })
+		k.After(2, feed)
+	}
+	k.At(0, feed)
+	k.At(0, feed)
+	k.Run()
+	if len(order) != 300 {
+		t.Fatalf("completed %d, want 300", len(order))
+	}
+}
