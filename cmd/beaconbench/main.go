@@ -8,6 +8,7 @@
 //	beaconbench -exp fig18 -quick   # shrunken sweep for a fast look
 //	beaconbench -exp all -parallel 8 # fan simulations over 8 workers
 //	beaconbench -list               # available experiment ids
+//	beaconbench -trace out.json -trace-platform BG-2   # request trace
 //
 // Simulations fan out across -parallel workers (default: all CPU
 // cores); output is byte-identical for any worker count, including
@@ -31,6 +32,9 @@ func main() {
 		batches  = flag.Int("batches", 0, "mini-batches per simulation (0 = default)")
 		jsonOut  = flag.Bool("json", false, "emit the numeric series as JSON instead of text")
 		parallel = flag.Int("parallel", 0, "concurrent simulations (0 = all CPU cores, 1 = sequential)")
+		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON request trace to this file and exit")
+		tracePlt = flag.String("trace-platform", "BG-2", "platform to trace with -trace")
+		traceDS  = flag.String("trace-dataset", "amazon", "dataset to trace with -trace")
 	)
 	flag.Parse()
 
@@ -41,6 +45,21 @@ func main() {
 		return
 	}
 	o := &core.Options{Quick: *quick, ScaleNodes: *nodes, Batches: *batches, Workers: *parallel}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err == nil {
+			_, err = core.RunTrace(o, *tracePlt, *traceDS, f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "beaconbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("request trace of %s on %s -> %s (open in https://ui.perfetto.dev)\n", *tracePlt, *traceDS, *traceOut)
+		return
+	}
 	if *jsonOut {
 		rep, err := core.BuildReport(o)
 		if err == nil {

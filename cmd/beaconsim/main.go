@@ -9,10 +9,18 @@
 //	beaconsim -platform BG-DGSP -dataset OGBN -read-latency 20us
 //	beaconsim -platform all -parallel 8       # every platform, 8 workers
 //	beaconsim -platform CC,BG-1,BG-2          # a comparison subset
+//	beaconsim -platform bg2 -trace out.json   # request trace for Perfetto
 //
 // With a platform list (comma-separated, or "all"), the simulations fan
 // out across -parallel workers (default: all CPU cores) and the reports
 // print in list order — identical output for any worker count.
+//
+// With -trace, every request's wait and service time at every contended
+// resource (flash dies, samplers, channels, firmware cores, DRAM port,
+// PCIe link, host CPU) is recorded and written as Chrome trace_event
+// JSON — open it at https://ui.perfetto.dev or chrome://tracing. Traced
+// simulations run sequentially so the trace is deterministic; with
+// multiple platforms their resources are namespaced "PLATFORM/...".
 package main
 
 import (
@@ -28,6 +36,7 @@ import (
 	"beacongnn/internal/metrics"
 	"beacongnn/internal/platform"
 	"beacongnn/internal/sim"
+	"beacongnn/internal/trace"
 )
 
 func main() {
@@ -43,6 +52,7 @@ func main() {
 		cores    = flag.Int("cores", 0, "firmware core count override")
 		seed     = flag.Uint64("seed", 0, "experiment seed override")
 		parallel = flag.Int("parallel", 0, "concurrent simulations for platform lists (0 = all CPU cores)")
+		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON request trace to this file")
 	)
 	flag.Parse()
 
@@ -87,9 +97,14 @@ func main() {
 
 	eng := exp.New(*parallel)
 	start = time.Now()
-	results, err := exp.Map(kinds, func(k platform.Kind) (*platform.Result, error) {
-		return eng.Simulate(k, cfg, inst, *batches, 1024)
-	})
+	var results []*platform.Result
+	if *traceOut != "" {
+		results, err = runTraced(kinds, cfg, inst, *batches, *traceOut)
+	} else {
+		results, err = exp.Map(kinds, func(k platform.Kind) (*platform.Result, error) {
+			return eng.Simulate(k, cfg, inst, *batches, 1024)
+		})
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -97,9 +112,46 @@ func main() {
 	for _, res := range results {
 		report(res, cfg, wall)
 	}
-	if len(kinds) > 1 {
+	if len(kinds) > 1 && *traceOut == "" {
 		fmt.Printf("\n%d simulations in %v wall on %d workers\n", len(kinds), wall, eng.Workers())
 	}
+}
+
+// runTraced runs the platforms sequentially with a shared request
+// recorder attached and writes the combined Chrome trace to path.
+func runTraced(kinds []platform.Kind, cfg config.Config, inst *dataset.Instance, batches int, path string) ([]*platform.Result, error) {
+	rec := trace.NewRecorder()
+	results := make([]*platform.Result, 0, len(kinds))
+	for _, k := range kinds {
+		s, err := platform.NewSystem(k, cfg, inst, 1024)
+		if err != nil {
+			return nil, err
+		}
+		var tr sim.Tracer = rec
+		if len(kinds) > 1 {
+			tr = rec.WithPrefix(k.String() + "/")
+		}
+		s.SetTracer(tr)
+		res, err := s.Run(batches)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, res)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := rec.WriteChrome(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	fmt.Printf("\nrequest trace: %d spans -> %s (open in https://ui.perfetto.dev)\n", len(rec.Spans()), path)
+	fmt.Print(rec.BreakdownTable())
+	return results, nil
 }
 
 // parsePlatforms expands "all" or a comma-separated platform list.
@@ -133,6 +185,12 @@ func report(res *platform.Result, cfg config.Config, wall time.Duration) {
 	fmt.Printf("command lifetime  %v mean over %d commands\n", res.CmdLifetime, res.Commands)
 	for _, p := range []metrics.Phase{metrics.PhaseWaitBefore, metrics.PhaseFlash, metrics.PhaseWaitAfter, metrics.PhaseChannel} {
 		fmt.Printf("  %-18s %v\n", p, res.CmdBreakdown[p])
+	}
+	if len(res.PhaseLatency) > 0 {
+		fmt.Printf("per-phase event latency:\n")
+		for _, line := range strings.Split(strings.TrimRight(metrics.PhaseQuantileTable(res.PhaseLatency), "\n"), "\n") {
+			fmt.Printf("  %s\n", line)
+		}
 	}
 	fmt.Printf("energy            %.1f mJ total, %.1f W avg, %.0f targets/s/W\n",
 		res.EnergyJ*1e3, res.AvgPowerW, res.Efficiency)

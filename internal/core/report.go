@@ -8,6 +8,7 @@ import (
 	"beacongnn/internal/directgraph"
 	"beacongnn/internal/exp"
 	"beacongnn/internal/flash"
+	"beacongnn/internal/metrics"
 	"beacongnn/internal/platform"
 	"beacongnn/internal/sim"
 )
@@ -27,6 +28,10 @@ type Report struct {
 	Trad   map[string]float64     `json:"traditional_speedup"`
 	Table4 []InflationRow         `json:"table4"`
 	Util   map[string]UtilSummary `json:"fig15_util"`
+
+	// LatencyQuantiles is each platform's per-phase p50/p95/p99 of
+	// individual event durations on amazon.
+	LatencyQuantiles map[string][]metrics.PhaseQuantile `json:"latency_quantiles"`
 }
 
 // Fig7Point is one die-count sample of the contention microbenchmark.
@@ -76,10 +81,11 @@ type UtilSummary struct {
 func BuildReport(o *Options) (*Report, error) {
 	o.fill()
 	rep := &Report{
-		ScaleNodes: o.ScaleNodes,
-		Batches:    o.Batches,
-		Trad:       map[string]float64{},
-		Util:       map[string]UtilSummary{},
+		ScaleNodes:       o.ScaleNodes,
+		Batches:          o.Batches,
+		Trad:             map[string]float64{},
+		Util:             map[string]UtilSummary{},
+		LatencyQuantiles: map[string][]metrics.PhaseQuantile{},
 	}
 
 	eng := o.engine()
@@ -124,6 +130,7 @@ func BuildReport(o *Options) (*Report, error) {
 						rep.Util[k.String()] = UtilSummary{
 							MeanDies: r.MeanDies, MeanChannels: r.MeanChannels, HopOverlap: r.HopOverlap,
 						}
+						rep.LatencyQuantiles[k.String()] = r.PhaseLatency
 					}
 				}
 				rep.Fig14 = append(rep.Fig14, row)

@@ -239,6 +239,10 @@ func RunFig15f(o *Options, w io.Writer) error {
 		fmt.Fprintln(w)
 	}
 	fmt.Fprintln(w, "paper: CC dominated by PCIe transfer; BG-1/BG-DG by flash I/O; host delay minor everywhere")
+	fmt.Fprintln(w, "\nper-phase event latency (p50/p95/p99):")
+	for _, r := range results {
+		fmt.Fprintf(w, "\n%s\n%s", r.Platform, metrics.PhaseQuantileTable(r.PhaseLatency))
+	}
 	return nil
 }
 

@@ -54,3 +54,6 @@ func (d *DRAM) Traffic() (uint64, uint64) { return d.reads, d.writes }
 
 // SetUtilization attaches a utilization tracker to the port.
 func (d *DRAM) SetUtilization(u *sim.Utilization) { d.pipe.SetUtilization(u) }
+
+// SetTracer attaches a request tracer to the port.
+func (d *DRAM) SetTracer(t sim.Tracer) { d.pipe.SetTracer(t, "dram.port", 0) }

@@ -44,6 +44,10 @@ import (
 type Engine struct {
 	sem chan struct{} // one token per concurrently running leaf
 
+	// simFn is the simulation leaf; platform.Simulate in production,
+	// replaceable in tests (e.g. to exercise panic recovery).
+	simFn func(platform.Kind, config.Config, *dataset.Instance, int, int) (*platform.Result, error)
+
 	mu   sync.Mutex
 	memo map[SimKey]*memoEntry
 	hits uint64
@@ -57,8 +61,9 @@ func New(workers int) *Engine {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	return &Engine{
-		sem:  make(chan struct{}, workers),
-		memo: make(map[SimKey]*memoEntry),
+		sem:   make(chan struct{}, workers),
+		simFn: platform.Simulate,
+		memo:  make(map[SimKey]*memoEntry),
 	}
 }
 
@@ -147,9 +152,19 @@ func (e *Engine) Simulate(kind platform.Kind, cfg config.Config, inst *dataset.I
 	e.mu.Unlock()
 
 	e.Throttle(func() {
-		ent.res, ent.err = platform.Simulate(kind, cfg, inst, batches, timeline)
+		// The channel must close even if the leaf panics: deduped waiters
+		// block on it, and a skipped close would strand every caller of
+		// this key forever. The panic is converted into the entry's error
+		// so waiters and the runner observe the same failure.
+		defer func() {
+			if rec := recover(); rec != nil {
+				ent.res = nil
+				ent.err = fmt.Errorf("exp: simulation %v on %s panicked: %v", kind, inst.Desc.Name, rec)
+			}
+			close(ent.done)
+		}()
+		ent.res, ent.err = e.simFn(kind, cfg, inst, batches, timeline)
 	})
-	close(ent.done)
 	return ent.res, ent.err
 }
 

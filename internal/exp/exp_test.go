@@ -2,9 +2,11 @@ package exp
 
 import (
 	"errors"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"beacongnn/internal/config"
 	"beacongnn/internal/dataset"
@@ -113,6 +115,69 @@ func TestSimulateConcurrentDedup(t *testing.T) {
 		if results[i] != results[0] {
 			t.Fatal("concurrent callers got different result pointers")
 		}
+	}
+}
+
+func TestSimulatePanicUnblocksDedupedWaiters(t *testing.T) {
+	// Regression: a panic in the simulation leaf skipped close(ent.done),
+	// deadlocking every deduped waiter on the same key forever. The close
+	// now runs in a defer and the panic becomes the entry's error.
+	e := New(2)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	e.simFn = func(platform.Kind, config.Config, *dataset.Instance, int, int) (*platform.Result, error) {
+		close(started)
+		<-release // hold the leaf until a waiter has deduped onto the key
+		panic("boom in leaf")
+	}
+	inst := testInstance(t)
+	cfg := config.Default()
+
+	runnerErr := make(chan error, 1)
+	go func() {
+		_, err := e.Simulate(platform.BG2, cfg, inst, 2, 0)
+		runnerErr <- err
+	}()
+	<-started
+
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, err := e.Simulate(platform.BG2, cfg, inst, 2, 0)
+		waiterErr <- err
+	}()
+	// Let the waiter reach the memo before the leaf panics. Stats() holds
+	// the engine lock, so once hits reflects the waiter it is parked on
+	// ent.done.
+	for {
+		if _, hits := e.Stats(); hits == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+
+	timeout := time.After(5 * time.Second)
+	for _, ch := range []chan error{runnerErr, waiterErr} {
+		select {
+		case err := <-ch:
+			if err == nil || !strings.Contains(err.Error(), "panicked") {
+				t.Fatalf("err = %v, want stored panic error", err)
+			}
+		case <-timeout:
+			t.Fatal("caller deadlocked after a panicking simulation leaf")
+		}
+	}
+	// The worker slot must have been released too: the engine stays usable.
+	done := make(chan struct{})
+	go func() {
+		e.Throttle(func() {})
+		e.Throttle(func() {})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker slot leaked by the panicking leaf")
 	}
 }
 

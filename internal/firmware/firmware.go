@@ -36,6 +36,9 @@ func NewProcessor(k *sim.Kernel, cfg config.Firmware) (*Processor, error) {
 	return &Processor{k: k, cfg: cfg, cores: sim.NewServer(k, cfg.Cores)}, nil
 }
 
+// SetTracer attaches a request tracer to the core pool.
+func (p *Processor) SetTracer(t sim.Tracer) { p.cores.SetTracer(t, "firmware.cores", 0) }
+
 // Config returns the firmware configuration.
 func (p *Processor) Config() config.Firmware { return p.cfg }
 

@@ -104,6 +104,21 @@ func New(k *sim.Kernel, cfg config.Flash, timelinePoints int) (*Backend, error) 
 	return b, nil
 }
 
+// SetTracer attaches a request tracer to every die, per-die sampler, and
+// channel bus; spans are attributed as flash.die / flash.sampler /
+// flash.channel with the resource index as the lane. Pass nil to detach.
+func (b *Backend) SetTracer(t sim.Tracer) {
+	for i, d := range b.dies {
+		d.SetTracer(t, "flash.die", i)
+	}
+	for i, s := range b.samplers {
+		s.SetTracer(t, "flash.sampler", i)
+	}
+	for i, c := range b.channels {
+		c.SetTracer(t, "flash.channel", i)
+	}
+}
+
 // Geometry returns the page-to-die mapping.
 func (b *Backend) Geometry() Geometry { return b.geom }
 

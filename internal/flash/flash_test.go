@@ -236,3 +236,28 @@ func TestUtilizationTracksDies(t *testing.T) {
 		t.Fatal("timeline empty")
 	}
 }
+
+func TestMultiPlaneSamplerSerializesAcrossWaves(t *testing.T) {
+	// Three same-die reads on a two-plane die: senses run two at a time,
+	// but every on-die sampler invocation serializes on the shared unit —
+	// including across sense waves.
+	cfg := testCfg()
+	if cfg.PlanesPerDie != 2 {
+		t.Fatalf("test assumes 2 planes, config has %d", cfg.PlanesPerDie)
+	}
+	k := sim.New()
+	b, _ := New(k, cfg, 0)
+	const extra = 1 * sim.Microsecond
+	var done []sim.Time
+	// Pages 0, 2048, 4096 all map to die 0 (page/16 is a multiple of 8).
+	for _, p := range []uint32{0, 2048, 4096} {
+		b.ReadPage(p, extra, nil, func() { done = append(done, k.Now()) })
+	}
+	k.Run()
+	// Senses: both planes [0,3µs], third read [3µs,6µs].
+	// Sampler: 3→4, 4→5, then 6→7 after the third sense lands.
+	want := []sim.Time{4 * sim.Microsecond, 5 * sim.Microsecond, 7 * sim.Microsecond}
+	if len(done) != 3 || done[0] != want[0] || done[1] != want[1] || done[2] != want[2] {
+		t.Fatalf("completions = %v, want %v", done, want)
+	}
+}

@@ -211,3 +211,35 @@ func TestRelocatePatchesEmbeddedAddresses(t *testing.T) {
 		}
 	}
 }
+
+func TestWearDiscrepancyUntouchedReserved(t *testing.T) {
+	f := newFTL()
+	if d := f.WearDiscrepancy(); d != 0 {
+		t.Fatalf("pristine FTL discrepancy = %v, want 0", d)
+	}
+	if _, _, err := f.ReserveForPages(10); err != nil {
+		t.Fatal(err)
+	}
+	// Reserved rows exist but none was ever erased, and no regular block
+	// was touched either: still zero, not NaN.
+	if d := f.WearDiscrepancy(); d != 0 {
+		t.Fatalf("untouched discrepancy = %v, want 0", d)
+	}
+	// One regular block at 12 erases against completely untouched
+	// reserved rows: the gap is exactly the regular mean.
+	regular := f.rowPages() * uint32(f.reservedRows+3)
+	id := BlockID{Die: f.geom.GlobalDie(regular), Block: f.geom.BlockOf(regular)}
+	for i := 0; i < 12; i++ {
+		f.RecordErase(id)
+	}
+	if d := f.WearDiscrepancy(); d != 12 {
+		t.Fatalf("discrepancy = %v, want 12 (reserved blocks untouched)", d)
+	}
+	// Touching one reserved block averages over the whole reserved
+	// population, not just the touched entries.
+	f.RecordErase(BlockID{Die: 0, Block: f.reservedStart})
+	want := 12 - 1/float64(f.reservedRows*f.cfg.TotalDies())
+	if d := f.WearDiscrepancy(); d != want {
+		t.Fatalf("discrepancy = %v, want %v", d, want)
+	}
+}

@@ -31,7 +31,8 @@ const (
 // Collector gathers all run measurements. Not safe for concurrent use;
 // the simulation kernel is single-threaded.
 type Collector struct {
-	phase map[Phase]sim.Time
+	phase     map[Phase]sim.Time
+	phaseHist map[Phase]*Histogram // per-event duration distributions
 
 	cmdCount   uint64
 	cmdPhases  map[Phase]sim.Time // summed per-command lifetime phases (Fig. 17)
@@ -47,18 +48,30 @@ type Collector struct {
 func NewCollector() *Collector {
 	return &Collector{
 		phase:     make(map[Phase]sim.Time),
+		phaseHist: make(map[Phase]*Histogram),
 		cmdPhases: make(map[Phase]sim.Time),
 		hopFirst:  make(map[int]sim.Time),
 		hopLast:   make(map[int]sim.Time),
 	}
 }
 
-// AddPhase accumulates time into an end-to-end breakdown phase.
+// AddPhase accumulates time into an end-to-end breakdown phase and
+// records the individual duration in that phase's distribution.
 func (c *Collector) AddPhase(p Phase, d sim.Time) {
 	if d < 0 {
 		panic(fmt.Sprintf("metrics: negative phase time %v for %s", d, p))
 	}
 	c.phase[p] += d
+	c.observePhase(p, d)
+}
+
+func (c *Collector) observePhase(p Phase, d sim.Time) {
+	h, ok := c.phaseHist[p]
+	if !ok {
+		h = &Histogram{}
+		c.phaseHist[p] = h
+	}
+	h.Observe(d)
 }
 
 // Phase returns a phase's accumulated time.
@@ -93,6 +106,39 @@ type PhaseShare struct {
 	Fraction float64
 }
 
+// PhaseQuantile is one phase's per-event latency distribution summary.
+type PhaseQuantile struct {
+	Phase Phase    `json:"phase"`
+	Count uint64   `json:"count"`
+	P50   sim.Time `json:"p50"`
+	P95   sim.Time `json:"p95"`
+	P99   sim.Time `json:"p99"`
+}
+
+// PhaseQuantiles returns the per-phase p50/p95/p99 of individual event
+// durations, sorted by phase name for deterministic output.
+func (c *Collector) PhaseQuantiles() []PhaseQuantile {
+	out := make([]PhaseQuantile, 0, len(c.phaseHist))
+	for p, h := range c.phaseHist {
+		out = append(out, PhaseQuantile{
+			Phase: p, Count: h.Count(),
+			P50: h.Quantile(0.5), P95: h.Quantile(0.95), P99: h.Quantile(0.99),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Phase < out[j].Phase })
+	return out
+}
+
+// PhaseQuantileTable renders quantiles as a fixed-width text table.
+func PhaseQuantileTable(qs []PhaseQuantile) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %10s %12s %12s %12s\n", "phase", "events", "p50", "p95", "p99")
+	for _, q := range qs {
+		fmt.Fprintf(&b, "%-18s %10d %12v %12v %12v\n", q.Phase, q.Count, q.P50, q.P95, q.P99)
+	}
+	return b.String()
+}
+
 // CommandLifetime records one flash command's lifetime phases for the
 // Figure 17 breakdown. Lifetime runs from address availability at the
 // frontend to result availability at the frontend.
@@ -105,6 +151,11 @@ func (c *Collector) CommandLifetime(waitBefore, flash, waitAfter, channel sim.Ti
 	life := waitBefore + flash + waitAfter + channel
 	c.cmdLife += life
 	c.cmdHist.Observe(life)
+	// The wait phases have no AddPhase call sites (they are queueing, not
+	// charged work), so their distributions are fed here; flash and channel
+	// are observed by the AddPhase calls next to every CommandLifetime.
+	c.observePhase(PhaseWaitBefore, waitBefore)
+	c.observePhase(PhaseWaitAfter, waitAfter)
 }
 
 // CommandHistogram exposes the lifetime distribution.

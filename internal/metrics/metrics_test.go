@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"beacongnn/internal/sim"
@@ -186,5 +187,44 @@ func TestCollectorHistogramWired(t *testing.T) {
 	c.CommandLifetime(10, 3, 7, 5)
 	if c.CommandHistogram().Count() != 1 {
 		t.Fatal("histogram not fed by CommandLifetime")
+	}
+}
+
+func TestPhaseQuantiles(t *testing.T) {
+	c := NewCollector()
+	for i := 1; i <= 100; i++ {
+		c.AddPhase(PhaseFlash, sim.Time(i)*sim.Microsecond)
+	}
+	c.AddPhase(PhaseDRAM, 10)
+	c.CommandLifetime(10, 3, 7, 5) // feeds the wait-phase distributions
+	qs := c.PhaseQuantiles()
+	byPhase := map[Phase]PhaseQuantile{}
+	for i, q := range qs {
+		byPhase[q.Phase] = q
+		if i > 0 && qs[i-1].Phase >= q.Phase {
+			t.Fatalf("quantiles not sorted by phase: %v before %v", qs[i-1].Phase, q.Phase)
+		}
+	}
+	fl, ok := byPhase[PhaseFlash]
+	if !ok || fl.Count != 100 {
+		t.Fatalf("flash quantile = %+v", fl)
+	}
+	if fl.P50 < 38*sim.Microsecond || fl.P50 > 62*sim.Microsecond {
+		t.Fatalf("flash p50 = %v, want ≈50µs", fl.P50)
+	}
+	if fl.P50 > fl.P95 || fl.P95 > fl.P99 {
+		t.Fatalf("quantiles not monotone: %+v", fl)
+	}
+	if wb := byPhase[PhaseWaitBefore]; wb.Count != 1 || wb.P50 != 10 {
+		t.Fatalf("wait_before_flash = %+v", wb)
+	}
+	if wa := byPhase[PhaseWaitAfter]; wa.Count != 1 {
+		t.Fatalf("wait_after_flash = %+v", wa)
+	}
+	table := PhaseQuantileTable(qs)
+	for _, want := range []string{"phase", "p99", string(PhaseFlash), string(PhaseWaitBefore)} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("table missing %q:\n%s", want, table)
+		}
 	}
 }

@@ -94,6 +94,9 @@ func New(k *sim.Kernel, link config.Link, depth int) (*QueuePair, error) {
 // the queue machinery (e.g. streaming feature pages to the host).
 func (q *QueuePair) PCIe() *sim.Pipe { return q.pcie }
 
+// SetTracer attaches a request tracer to the PCIe link.
+func (q *QueuePair) SetTracer(t sim.Tracer) { q.pcie.SetTracer(t, "nvme.pcie", 0) }
+
 // TransferData moves n payload bytes over the link.
 func (q *QueuePair) TransferData(n int, done func()) {
 	if q.OnPCIeBytes != nil {

@@ -17,7 +17,10 @@
 // event-driven engine executes the resulting pipeline.
 package platform
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Kind names an evaluated system.
 type Kind int
@@ -65,14 +68,27 @@ func (k Kind) String() string {
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
 
-// ByName parses a platform name (as printed by String).
+// ByName parses a platform name. Matching ignores case and separators,
+// so "BG-2", "bg2", and "bg_2" all resolve to BG2.
 func ByName(name string) (Kind, error) {
+	want := normalizeName(name)
 	for k := Kind(0); k < numKinds; k++ {
-		if k.String() == name {
+		if normalizeName(k.String()) == want {
 			return k, nil
 		}
 	}
 	return 0, fmt.Errorf("platform: unknown platform %q", name)
+}
+
+func normalizeName(s string) string {
+	s = strings.ToLower(s)
+	return strings.Map(func(r rune) rune {
+		switch r {
+		case '-', '_', ' ':
+			return -1
+		}
+		return r
+	}, s)
 }
 
 // SamplerLoc says where neighbor sampling executes.

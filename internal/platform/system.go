@@ -67,6 +67,19 @@ func (s *System) SetSampleObserver(f func(parent, child uint32, hop int)) { s.on
 // e.g. a recorded trace. Each call must return exactly BatchSize ids.
 func (s *System) SetTargetSource(f func(batch int) []graph.NodeID) { s.targetSource = f }
 
+// SetTracer attaches a request tracer to every contended resource in the
+// system: flash dies/samplers/channels, firmware cores, the DRAM port,
+// the PCIe link, host CPU cores, and the accelerator queue. Must be
+// called before Run; pass nil to detach.
+func (s *System) SetTracer(t sim.Tracer) {
+	s.backend.SetTracer(t)
+	s.fw.SetTracer(t)
+	s.mem.SetTracer(t)
+	s.qp.SetTracer(t)
+	s.host.SetTracer(t, "host.cpu", 0)
+	s.accelQ.SetTracer(t, "accel.queue", 0)
+}
+
 // NewSystem wires a platform over a materialized dataset instance.
 func NewSystem(kind Kind, cfg config.Config, inst *dataset.Instance, timelinePoints int) (*System, error) {
 	if err := cfg.Validate(); err != nil {
@@ -214,6 +227,7 @@ type Result struct {
 	ChanTimeline []sim.UtilPoint
 
 	Phases       []metrics.PhaseShare
+	PhaseLatency []metrics.PhaseQuantile // per-phase p50/p95/p99 of event durations
 	CmdBreakdown map[metrics.Phase]sim.Time
 	CmdLifetime  sim.Time
 	CmdP50       sim.Time // median command lifetime
@@ -274,6 +288,7 @@ func (s *System) Run(numBatches int) (*Result, error) {
 		AvgPowerW:   s.meter.AvgPower(elapsed),
 	}
 	res.Phases, _ = s.coll.PhaseBreakdown()
+	res.PhaseLatency = s.coll.PhaseQuantiles()
 	res.CmdBreakdown, res.CmdLifetime = s.coll.CommandBreakdown()
 	res.CmdP50 = s.coll.CommandHistogram().Quantile(0.5)
 	res.CmdP99 = s.coll.CommandHistogram().Quantile(0.99)

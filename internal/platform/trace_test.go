@@ -1,0 +1,111 @@
+package platform
+
+import (
+	"bytes"
+	"testing"
+
+	"beacongnn/internal/config"
+	"beacongnn/internal/trace"
+)
+
+func TestByNameNormalized(t *testing.T) {
+	cases := map[string]Kind{
+		"BG-2": BG2, "bg2": BG2, "Bg_2": BG2, "bg-2": BG2,
+		"bgdgsp": BGDGSP, "BG-DGSP": BGDGSP,
+		"smartsage": SmartSage, "cc": CC, "glist": GList,
+	}
+	for name, want := range cases {
+		got, err := ByName(name)
+		if err != nil || got != want {
+			t.Errorf("ByName(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := ByName("bg3"); err == nil {
+		t.Error("ByName accepted an unknown platform")
+	}
+}
+
+// tracedRun runs one traced BG-2 simulation and returns the recorder,
+// its rendered Chrome JSON, and the run's result.
+func tracedRun(t *testing.T) (*trace.Recorder, []byte, *Result) {
+	t.Helper()
+	inst := testInstance(t)
+	cfg := config.Default()
+	cfg.GNN.BatchSize = 16
+	s, err := NewSystem(BG2, cfg, inst, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder()
+	s.SetTracer(rec)
+	res, err := s.Run(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return rec, buf.Bytes(), res
+}
+
+func TestTracerAttributesAllLayers(t *testing.T) {
+	rec, _, res := tracedRun(t)
+	seen := map[string]bool{}
+	for _, s := range rec.Spans() {
+		seen[s.Resource] = true
+		if s.Start < s.Arrived || s.End < s.Start {
+			t.Fatalf("malformed span %+v", s)
+		}
+	}
+	// BG-2 exercises flash, the on-die samplers, channels, DRAM, PCIe,
+	// and the host CPU; spans must be attributed to each layer.
+	for _, want := range []string{"flash.die", "flash.sampler", "flash.channel", "dram.port", "nvme.pcie", "host.cpu"} {
+		if !seen[want] {
+			t.Errorf("no spans recorded for %s (saw %v)", want, seen)
+		}
+	}
+	if len(res.PhaseLatency) == 0 {
+		t.Fatal("result carries no per-phase latency quantiles")
+	}
+	for i, q := range res.PhaseLatency {
+		if q.Count == 0 {
+			t.Errorf("phase %s has zero observations", q.Phase)
+		}
+		if q.P50 > q.P95 || q.P95 > q.P99 {
+			t.Errorf("phase %s quantiles not monotone: %+v", q.Phase, q)
+		}
+		if i > 0 && res.PhaseLatency[i-1].Phase >= q.Phase {
+			t.Fatal("PhaseLatency not sorted by phase")
+		}
+	}
+}
+
+func TestTracedRunDeterministic(t *testing.T) {
+	_, j1, r1 := tracedRun(t)
+	_, j2, r2 := tracedRun(t)
+	if !bytes.Equal(j1, j2) {
+		t.Fatal("identical traced runs produced different Chrome JSON")
+	}
+	if r1.Elapsed != r2.Elapsed || r1.Throughput != r2.Throughput {
+		t.Fatal("traced runs diverged")
+	}
+}
+
+func TestTracingDoesNotPerturbSimulation(t *testing.T) {
+	// Attaching a tracer must observe, never steer: the traced run's
+	// measurements must equal an untraced run's exactly.
+	_, _, traced := tracedRun(t)
+	inst := testInstance(t)
+	cfg := config.Default()
+	cfg.GNN.BatchSize = 16
+	plain, err := Simulate(BG2, cfg, inst, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traced.Elapsed != plain.Elapsed || traced.FlashReads != plain.FlashReads || traced.Throughput != plain.Throughput {
+		t.Fatalf("tracing changed the simulation: %v/%d/%v vs %v/%d/%v",
+			traced.Elapsed, traced.FlashReads, traced.Throughput,
+			plain.Elapsed, plain.FlashReads, plain.Throughput)
+	}
+}

@@ -8,10 +8,10 @@ package sim
 
 import "testing"
 
-// BenchmarkKernel measures raw schedule+dispatch throughput: a chain of
-// self-rescheduling events interleaved with a fan-out burst, which keeps
-// the heap at a realistic mixed depth.
-func BenchmarkKernel(b *testing.B) {
+// BenchmarkEventKernel measures raw schedule+dispatch throughput: a
+// chain of self-rescheduling events interleaved with a fan-out burst,
+// which keeps the heap at a realistic mixed depth.
+func BenchmarkEventKernel(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		k := New()
@@ -59,6 +59,32 @@ func BenchmarkServer(b *testing.B) {
 		k.Run()
 		if done != 4096 {
 			b.Fatalf("done = %d", done)
+		}
+	}
+}
+
+// nullTracer is the cheapest possible Tracer — the benchmark below
+// isolates the cost of the hook dispatch itself.
+type nullTracer struct{ spans int }
+
+func (t *nullTracer) ServerSpan(string, int, Time, Time, Time) { t.spans++ }
+
+// BenchmarkServerTraced is BenchmarkServer with a tracer attached, for
+// comparing the enabled-tracing overhead against the nil-check baseline.
+func BenchmarkServerTraced(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := New()
+		s := NewServer(k, 4)
+		tr := &nullTracer{}
+		s.SetTracer(tr, "bench", 0)
+		done := 0
+		for j := 0; j < 4096; j++ {
+			s.Submit(10, func() { done++ })
+		}
+		k.Run()
+		if done != 4096 || tr.spans != 4096 {
+			b.Fatalf("done = %d spans = %d", done, tr.spans)
 		}
 	}
 }

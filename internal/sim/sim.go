@@ -38,15 +38,23 @@ func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
 
 func (t Time) String() string {
+	// Pick the unit by magnitude so negative durations format like their
+	// positive counterparts (-5µs is "-5.000µs", not "-5000ns").
+	m := t
+	sign := ""
+	if m < 0 {
+		m = -m
+		sign = "-"
+	}
 	switch {
-	case t >= Second:
-		return fmt.Sprintf("%.3fs", t.Seconds())
-	case t >= Millisecond:
-		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
-	case t >= Microsecond:
-		return fmt.Sprintf("%.3fµs", t.Micros())
+	case m >= Second:
+		return fmt.Sprintf("%s%.3fs", sign, m.Seconds())
+	case m >= Millisecond:
+		return fmt.Sprintf("%s%.3fms", sign, float64(m)/float64(Millisecond))
+	case m >= Microsecond:
+		return fmt.Sprintf("%s%.3fµs", sign, m.Micros())
 	default:
-		return fmt.Sprintf("%dns", int64(t))
+		return fmt.Sprintf("%s%dns", sign, int64(m))
 	}
 }
 
@@ -175,17 +183,18 @@ func (k *Kernel) Run() {
 	}
 }
 
-// RunUntil executes events with time ≤ limit, leaving the clock at the
-// last executed event (or limit if nothing ran past it). Events scheduled
-// after limit remain queued. It reports whether the queue drained.
+// RunUntil executes events with time ≤ limit and then advances the
+// clock to limit (never backwards), so callers can schedule relative to
+// the window's end. Events scheduled after limit remain queued. It
+// reports whether the queue drained.
 func (k *Kernel) RunUntil(limit Time) bool {
 	for {
 		at, ok := k.events.peek()
-		if !ok {
-			return true
-		}
-		if at > limit {
-			return false
+		if !ok || at > limit {
+			if limit > k.now {
+				k.now = limit
+			}
+			return !ok
 		}
 		k.step()
 	}
@@ -196,6 +205,16 @@ func (k *Kernel) step() {
 	k.now = e.at
 	k.steps++
 	e.fn()
+}
+
+// Tracer observes per-request spans at traced resources. One call is
+// made per completed service with the request's arrival, service-start,
+// and completion times; wait time is start−arrived, service time is
+// end−start. The hook runs inline on the event loop, so implementations
+// must be cheap and must not schedule events. A nil tracer costs a
+// single pointer check per completion and adds no allocations.
+type Tracer interface {
+	ServerSpan(resource string, lane int, arrived, start, end Time)
 }
 
 // Server is an N-way FIFO service center: up to Width requests are in
@@ -209,10 +228,13 @@ type Server struct {
 	// The FIFO is a head-indexed slice: popping advances head instead of
 	// reslicing (queue = queue[1:]), so the backing array is reused when
 	// the queue drains and pops never leak the popped prefix.
-	queue []serverReq
-	head  int
-	util  *Utilization
-	wait  *WaitStats
+	queue  []serverReq
+	head   int
+	util   *Utilization
+	wait   *WaitStats
+	tracer Tracer
+	tname  string
+	tlane  int
 }
 
 type serverReq struct {
@@ -235,6 +257,12 @@ func (s *Server) SetUtilization(u *Utilization) { s.util = u }
 
 // SetWaitStats attaches a queueing-delay tracker (may be nil).
 func (s *Server) SetWaitStats(w *WaitStats) { s.wait = w }
+
+// SetTracer attaches a request tracer (may be nil) reporting spans under
+// the given resource name and lane.
+func (s *Server) SetTracer(t Tracer, resource string, lane int) {
+	s.tracer, s.tname, s.tlane = t, resource, lane
+}
 
 // Width returns the number of parallel servers.
 func (s *Server) Width() int { return s.width }
@@ -290,25 +318,33 @@ func (s *Server) SubmitFull(service Time, start func(Time), done func()) {
 
 func (s *Server) begin(r serverReq) {
 	s.busy++
+	startAt := s.k.Now()
 	if s.util != nil {
-		s.util.Add(s.k.Now(), +1)
+		s.util.Add(startAt, +1)
 	}
 	if s.wait != nil {
-		s.wait.Observe(s.k.Now() - r.arrived)
+		s.wait.Observe(startAt - r.arrived)
 	}
 	if r.start != nil {
-		r.start(s.k.Now())
+		r.start(startAt)
 	}
 	s.k.After(r.service, func() {
 		s.busy--
 		if s.util != nil {
 			s.util.Add(s.k.Now(), -1)
 		}
-		if r.done != nil {
-			r.done()
+		if s.tracer != nil {
+			s.tracer.ServerSpan(s.tname, s.tlane, r.arrived, startAt, s.k.Now())
 		}
+		// Hand the freed slot to the oldest waiter before running done:
+		// a Submit issued synchronously from the completion callback
+		// would otherwise see busy < width and begin service at once,
+		// jumping ahead of requests that arrived earlier.
 		if s.QueueLen() > 0 && s.busy < s.width {
 			s.begin(s.popFront())
+		}
+		if r.done != nil {
+			r.done()
 		}
 	})
 }
@@ -335,6 +371,11 @@ func NewPipe(k *Kernel, bytesPerSec float64, latency Time) *Pipe {
 
 // SetUtilization attaches a utilization tracker to the underlying server.
 func (p *Pipe) SetUtilization(u *Utilization) { p.srv.SetUtilization(u) }
+
+// SetTracer attaches a request tracer to the underlying server.
+func (p *Pipe) SetTracer(t Tracer, resource string, lane int) {
+	p.srv.SetTracer(t, resource, lane)
+}
 
 // OccupancyFor returns the bus-occupancy time for n bytes.
 func (p *Pipe) OccupancyFor(n int) Time {

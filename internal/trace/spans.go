@@ -1,0 +1,178 @@
+package trace
+
+// This file is the request-tracing half of the package: a sim.Tracer
+// implementation that records one span per serviced request at every
+// instrumented resource (flash dies and channels, firmware cores, the
+// DRAM port, the PCIe link, host CPU, accelerator queue) and renders
+// them as a Chrome trace_event JSON file — viewable in Perfetto or
+// chrome://tracing — plus an in-memory wait/service latency breakdown
+// with p50/p95/p99 per resource.
+//
+// Recording is strictly append-order: the simulation kernel is
+// single-threaded and deterministic, so for a fixed seed the recorded
+// span sequence — and therefore the emitted JSON — is byte-identical
+// across runs.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"beacongnn/internal/metrics"
+	"beacongnn/internal/sim"
+)
+
+// Span is one serviced request at one resource: it waited from Arrived
+// to Start and was in service from Start to End.
+type Span struct {
+	Resource string
+	Lane     int
+	Arrived  sim.Time
+	Start    sim.Time
+	End      sim.Time
+}
+
+// Wait returns the span's queueing delay.
+func (s Span) Wait() sim.Time { return s.Start - s.Arrived }
+
+// Service returns the span's service time.
+func (s Span) Service() sim.Time { return s.End - s.Start }
+
+// Recorder collects request spans. It implements sim.Tracer; attach it
+// with (*platform.System).SetTracer or any resource's SetTracer. Not
+// safe for concurrent use — one recorder per simulation kernel.
+type Recorder struct {
+	spans []Span
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// ServerSpan implements sim.Tracer.
+func (r *Recorder) ServerSpan(resource string, lane int, arrived, start, end sim.Time) {
+	r.spans = append(r.spans, Span{Resource: resource, Lane: lane, Arrived: arrived, Start: start, End: end})
+}
+
+// Spans returns every recorded span in completion order.
+func (r *Recorder) Spans() []Span { return r.spans }
+
+// prefixTracer namespaces another tracer's resource names, so several
+// systems (e.g. one per platform) can share a recorder without their
+// identically-named resources colliding in the output.
+type prefixTracer struct {
+	inner  sim.Tracer
+	prefix string
+}
+
+func (p prefixTracer) ServerSpan(resource string, lane int, arrived, start, end sim.Time) {
+	p.inner.ServerSpan(p.prefix+resource, lane, arrived, start, end)
+}
+
+// WithPrefix returns a tracer that records into r with every resource
+// name prefixed (e.g. "BG-2/").
+func (r *Recorder) WithPrefix(prefix string) sim.Tracer {
+	return prefixTracer{inner: r, prefix: prefix}
+}
+
+// chromeEvent is one entry of the Chrome trace_event format. Complete
+// events ("X") carry a start timestamp and duration in microseconds;
+// metadata events ("M") name processes and threads.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+func micros(t sim.Time) float64 { return float64(t) / float64(sim.Microsecond) }
+
+// WriteChrome emits the spans as Chrome trace_event JSON. Each resource
+// name becomes a process, each lane a thread; service occupancy appears
+// as a "service" slice and queueing (when nonzero) as a "wait" slice
+// ending where service begins. Output is deterministic: processes are
+// numbered in order of first appearance.
+func (r *Recorder) WriteChrome(w io.Writer) error {
+	pidOf := map[string]int{}
+	var events []chromeEvent
+	for _, s := range r.spans {
+		pid, ok := pidOf[s.Resource]
+		if !ok {
+			pid = len(pidOf) + 1
+			pidOf[s.Resource] = pid
+			events = append(events, chromeEvent{
+				Name: "process_name", Ph: "M", Pid: pid,
+				Args: map[string]any{"name": s.Resource},
+			})
+		}
+		if wait := s.Wait(); wait > 0 {
+			events = append(events, chromeEvent{
+				Name: "wait", Cat: "queue", Ph: "X",
+				Ts: micros(s.Arrived), Dur: micros(wait),
+				Pid: pid, Tid: s.Lane,
+			})
+		}
+		events = append(events, chromeEvent{
+			Name: "service", Cat: "service", Ph: "X",
+			Ts: micros(s.Start), Dur: micros(s.Service()),
+			Pid: pid, Tid: s.Lane,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeFile{TraceEvents: events, DisplayTimeUnit: "ns"})
+}
+
+// ResourceStats is the aggregated latency breakdown of one resource.
+type ResourceStats struct {
+	Resource string
+	Count    uint64
+	Wait     *metrics.Histogram
+	Service  *metrics.Histogram
+}
+
+// Breakdown aggregates the spans per resource, sorted by resource name.
+func (r *Recorder) Breakdown() []ResourceStats {
+	byName := map[string]*ResourceStats{}
+	for _, s := range r.spans {
+		st, ok := byName[s.Resource]
+		if !ok {
+			st = &ResourceStats{Resource: s.Resource, Wait: &metrics.Histogram{}, Service: &metrics.Histogram{}}
+			byName[s.Resource] = st
+		}
+		st.Count++
+		st.Wait.Observe(s.Wait())
+		st.Service.Observe(s.Service())
+	}
+	out := make([]ResourceStats, 0, len(byName))
+	for _, st := range byName {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Resource < out[j].Resource })
+	return out
+}
+
+// BreakdownTable renders the per-resource wait/service percentiles as a
+// fixed-width text table.
+func (r *Recorder) BreakdownTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %9s %36s %36s\n", "resource", "requests", "wait p50/p95/p99", "service p50/p95/p99")
+	for _, st := range r.Breakdown() {
+		fmt.Fprintf(&b, "%-22s %9d %36s %36s\n",
+			st.Resource, st.Count, quantileCell(st.Wait), quantileCell(st.Service))
+	}
+	return b.String()
+}
+
+func quantileCell(h *metrics.Histogram) string {
+	return fmt.Sprintf("%v / %v / %v", h.Quantile(0.5), h.Quantile(0.95), h.Quantile(0.99))
+}

@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"beacongnn/internal/sim"
+)
+
+func recordSample(r *Recorder) {
+	// die lane 0: waited 0, served [0,3µs]; lane 1: waited 1µs, served [1µs,4µs]
+	r.ServerSpan("flash.die", 0, 0, 0, 3*sim.Microsecond)
+	r.ServerSpan("flash.die", 1, 0, 1*sim.Microsecond, 4*sim.Microsecond)
+	r.ServerSpan("dram.port", 0, 2*sim.Microsecond, 2*sim.Microsecond, 5*sim.Microsecond)
+}
+
+func TestRecorderSpans(t *testing.T) {
+	r := NewRecorder()
+	recordSample(r)
+	spans := r.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("spans = %d, want 3", len(spans))
+	}
+	if spans[1].Wait() != 1*sim.Microsecond || spans[1].Service() != 3*sim.Microsecond {
+		t.Fatalf("span[1] wait/service = %v/%v", spans[1].Wait(), spans[1].Service())
+	}
+}
+
+func TestWriteChromeIsValidTraceEventJSON(t *testing.T) {
+	r := NewRecorder()
+	recordSample(r)
+	var buf bytes.Buffer
+	if err := r.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	// 2 process_name metadata + 3 service + 1 wait (only span[1] queued).
+	meta, svc, wait := 0, 0, 0
+	names := map[string]bool{}
+	for _, e := range file.TraceEvents {
+		switch {
+		case e.Ph == "M":
+			meta++
+			names[e.Args["name"].(string)] = true
+		case e.Ph == "X" && e.Name == "service":
+			svc++
+		case e.Ph == "X" && e.Name == "wait":
+			wait++
+		default:
+			t.Fatalf("unexpected event %+v", e)
+		}
+	}
+	if meta != 2 || svc != 3 || wait != 1 {
+		t.Fatalf("meta/service/wait = %d/%d/%d, want 2/3/1", meta, svc, wait)
+	}
+	if !names["flash.die"] || !names["dram.port"] {
+		t.Fatalf("process names = %v", names)
+	}
+	// The queued span's wait slice must end exactly where service begins.
+	for _, e := range file.TraceEvents {
+		if e.Name == "wait" {
+			if e.Ts != 0 || e.Dur != 1 || e.Tid != 1 {
+				t.Fatalf("wait slice = %+v, want ts 0 dur 1µs on tid 1", e)
+			}
+		}
+	}
+}
+
+func TestWriteChromeDeterministic(t *testing.T) {
+	render := func() []byte {
+		r := NewRecorder()
+		recordSample(r)
+		var buf bytes.Buffer
+		if err := r.WriteChrome(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(render(), render()) {
+		t.Fatal("identical span sequences rendered different bytes")
+	}
+}
+
+func TestWithPrefixNamespacesResources(t *testing.T) {
+	r := NewRecorder()
+	tr := r.WithPrefix("BG-2/")
+	tr.ServerSpan("flash.die", 0, 0, 0, 10)
+	if got := r.Spans()[0].Resource; got != "BG-2/flash.die" {
+		t.Fatalf("resource = %q", got)
+	}
+}
+
+func TestBreakdownAggregatesPerResource(t *testing.T) {
+	r := NewRecorder()
+	recordSample(r)
+	stats := r.Breakdown()
+	if len(stats) != 2 {
+		t.Fatalf("resources = %d, want 2", len(stats))
+	}
+	// Sorted by name: dram.port first.
+	if stats[0].Resource != "dram.port" || stats[1].Resource != "flash.die" {
+		t.Fatalf("order = %s, %s", stats[0].Resource, stats[1].Resource)
+	}
+	die := stats[1]
+	if die.Count != 2 {
+		t.Fatalf("die count = %d", die.Count)
+	}
+	if die.Wait.Max() != 1*sim.Microsecond || die.Service.Max() != 3*sim.Microsecond {
+		t.Fatalf("die wait/service max = %v/%v", die.Wait.Max(), die.Service.Max())
+	}
+	table := r.BreakdownTable()
+	if !strings.Contains(table, "flash.die") || !strings.Contains(table, "dram.port") {
+		t.Fatalf("table missing resources:\n%s", table)
+	}
+}

@@ -1,7 +1,13 @@
-// Package trace records and replays mini-batch target traces, making
-// cross-platform comparisons exactly workload-identical and letting
-// users feed captured production query streams into the simulator
-// instead of synthetic target selection.
+// Package trace provides the simulator's two tracing facilities:
+//
+//   - workload traces (this file): recorded mini-batch target sequences
+//     that make cross-platform comparisons exactly workload-identical
+//     and let users feed captured production query streams into the
+//     simulator instead of synthetic target selection;
+//   - request traces (spans.go): a sim.Tracer implementation recording
+//     per-request wait/service spans at every instrumented resource,
+//     emitted as Chrome trace_event JSON (Perfetto-viewable) and as a
+//     per-resource latency percentile table.
 package trace
 
 import (
