@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: build test race vet bench check
+.PHONY: build test race vet bench check fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -16,6 +17,18 @@ vet:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# Run every fuzz target briefly — a smoke net over the decoder and wire
+# formats (Go runs one fuzz target per invocation, hence the loop).
+fuzz-smoke:
+	@for t in FuzzFindSection FuzzRelocate FuzzSectionsInPage; do \
+		echo "== $$t"; \
+		$(GO) test ./internal/directgraph/ -run=NONE -fuzz=$$t -fuzztime=$(FUZZTIME) || exit 1; \
+	done
+	@for t in FuzzUnmarshalResult FuzzUnmarshalCommand; do \
+		echo "== $$t"; \
+		$(GO) test ./internal/sampler/ -run=NONE -fuzz=$$t -fuzztime=$(FUZZTIME) || exit 1; \
+	done
 
 # Tier-1 verification: everything CI gates on.
 check: build vet test race

@@ -39,7 +39,7 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		for _, e := range core.Experiments() {
+		for _, e := range core.AllExperiments() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
 		}
 		return

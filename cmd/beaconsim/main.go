@@ -27,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -53,6 +54,12 @@ func main() {
 		seed     = flag.Uint64("seed", 0, "experiment seed override")
 		parallel = flag.Int("parallel", 0, "concurrent simulations for platform lists (0 = all CPU cores)")
 		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON request trace to this file")
+
+		faults    = flag.Bool("faults", false, "enable the NAND reliability model (fault injection, read-retry, recovery)")
+		faultRBER = flag.Float64("fault-rber", 0, "base raw bit error rate override (0 = default)")
+		faultPE   = flag.Int("fault-pe", 0, "initial P/E cycle count on every block (wear)")
+		deadDies  = flag.String("fault-dead-dies", "", "comma-separated global die indices to inject as failed")
+		deadChans = flag.String("fault-dead-channels", "", "comma-separated channel indices to inject as failed")
 	)
 	flag.Parse()
 
@@ -74,6 +81,28 @@ func main() {
 	}
 	if *seed != 0 {
 		cfg.Seed = *seed
+	}
+	if *faults || *faultRBER > 0 || *faultPE > 0 || *deadDies != "" || *deadChans != "" {
+		cfg.Fault.Enabled = true
+		if *faultRBER > 0 {
+			cfg.Fault.BaseRBER = *faultRBER
+		}
+		if *faultPE > 0 {
+			cfg.Fault.InitialPECycles = *faultPE
+		}
+		dd, err := parseInts(*deadDies)
+		if err != nil {
+			fatal(fmt.Errorf("-fault-dead-dies: %w", err))
+		}
+		cfg.Fault.DeadDies = dd
+		dc, err := parseInts(*deadChans)
+		if err != nil {
+			fatal(fmt.Errorf("-fault-dead-channels: %w", err))
+		}
+		cfg.Fault.DeadChannels = dc
+		if err := cfg.Validate(); err != nil {
+			fatal(err)
+		}
 	}
 
 	kinds, err := parsePlatforms(*plat)
@@ -154,6 +183,22 @@ func runTraced(kinds []platform.Kind, cfg config.Config, inst *dataset.Instance,
 	return results, nil
 }
 
+// parseInts parses a comma-separated integer list ("" → nil).
+func parseInts(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad index %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
 // parsePlatforms expands "all" or a comma-separated platform list.
 func parsePlatforms(s string) ([]platform.Kind, error) {
 	if strings.EqualFold(s, "all") {
@@ -197,6 +242,22 @@ func report(res *platform.Result, cfg config.Config, wall time.Duration) {
 	for _, s := range res.EnergyByCmp {
 		if s.Fraction >= 0.01 {
 			fmt.Printf("  %-14s %5.1f%%\n", s.Component, s.Fraction*100)
+		}
+	}
+	if st := res.Faults; st != nil {
+		pct := func(n uint64) float64 {
+			if st.Reads == 0 {
+				return 0
+			}
+			return 100 * float64(n) / float64(st.Reads)
+		}
+		fmt.Printf("reliability       %d senses: %.2f%% clean, %.2f%% retry (%d extra senses), %.2f%% soft-decode, %d uncorrectable\n",
+			st.Reads, pct(st.CleanReads), pct(st.RetryReads), st.RetrySenses, pct(st.SoftReads), st.Uncorrectable)
+		if st.Uncorrectable > 0 || st.DeadDieReads > 0 || st.ChannelReroutes > 0 {
+			fmt.Printf("  recovery        %d degraded reads, %d retired blocks, %d remapped pages, %d relocations\n",
+				st.DegradedReads, st.RetiredBlocks, st.RemappedPages, st.Relocations)
+			fmt.Printf("  outages         %d dead-die senses, %d channel reroutes\n",
+				st.DeadDieReads, st.ChannelReroutes)
 		}
 	}
 }

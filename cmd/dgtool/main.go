@@ -8,12 +8,19 @@
 //	dgtool -dataset OGBN
 //	dgtool -nodes 50000 -degree 80 -dim 128 -pagesize 8192
 //	dgtool -dataset amazon -node 42        # decode one node's sections
+//
+// The validate subcommand walks a materialized image, decodes every
+// section, and chases every embedded secondary address:
+//
+//	dgtool validate -dataset amazon
+//	dgtool validate -nodes 5000 -corrupt 3 -drop 2   # exercise the error paths
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"beacongnn/internal/dataset"
 	"beacongnn/internal/directgraph"
@@ -21,6 +28,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "validate" {
+		runValidate(os.Args[2:])
+		return
+	}
 	var (
 		ds       = flag.String("dataset", "", "named benchmark dataset (reddit, amazon, movielens, OGBN, PPI)")
 		nodes    = flag.Int("nodes", 20000, "nodes for a custom synthetic graph")
@@ -83,6 +94,84 @@ func main() {
 	if *node >= 0 {
 		printNode(inst, graph.NodeID(*node))
 	}
+}
+
+// runValidate materializes an image (same knobs as the main command) and
+// runs the full integrity walk. -corrupt and -drop deterministically
+// damage the image first — smashing section headers and deleting pages —
+// so the corrupt-section and dangling-address detectors can be exercised
+// end to end. Exits non-zero when validation finds problems.
+func runValidate(args []string) {
+	fs := flag.NewFlagSet("dgtool validate", flag.ExitOnError)
+	var (
+		ds        = fs.String("dataset", "", "named benchmark dataset (reddit, amazon, movielens, OGBN, PPI)")
+		nodes     = fs.Int("nodes", 20000, "nodes for a custom synthetic graph")
+		degree    = fs.Float64("degree", 50, "average degree for a custom graph")
+		dim       = fs.Int("dim", 64, "feature dimension for a custom graph")
+		powerLaw  = fs.Float64("powerlaw", 2.0, "degree distribution shape (0 = uniform)")
+		pageSize  = fs.Int("pagesize", 4096, "flash page size in bytes")
+		seed      = fs.Uint64("seed", 0xBEAC0, "generation seed")
+		corrupt   = fs.Int("corrupt", 0, "smash the section headers of the N lowest-numbered pages")
+		drop      = fs.Int("drop", 0, "delete the N highest-numbered pages (dangles addrs into them)")
+		maxIssues = fs.Int("max-issues", 10, "issues to print in detail")
+	)
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	var inst *dataset.Instance
+	var err error
+	if *ds != "" {
+		var d dataset.Desc
+		d, err = dataset.ByName(*ds)
+		if err == nil {
+			inst, err = dataset.Materialize(d, *nodes, *pageSize, *seed)
+		}
+	} else {
+		d := dataset.Desc{
+			Name: "custom", FullNodes: *nodes, AvgDegree: *degree,
+			MaxDegree: *nodes - 1, FeatureDim: *dim, PowerLaw: *powerLaw,
+		}
+		inst, err = dataset.Materialize(d, *nodes, *pageSize, *seed)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	b := inst.Build
+
+	if *corrupt > 0 || *drop > 0 {
+		keys := make([]uint32, 0, len(b.Pages))
+		for pn := range b.Pages {
+			keys = append(keys, pn)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for i := 0; i < *corrupt && i < len(keys); i++ {
+			pg := b.Pages[keys[i]]
+			for j := 0; j < 4 && j < len(pg); j++ {
+				pg[j] = 0xFF
+			}
+		}
+		for i := 0; i < *drop && len(keys)-1-i >= 0; i++ {
+			delete(b.Pages, keys[len(keys)-1-i])
+		}
+		fmt.Printf("injected damage: %d smashed headers, %d dropped pages\n", *corrupt, *drop)
+	}
+
+	rep := directgraph.Validate(b)
+	fmt.Printf("walked        %d pages, %d sections decoded\n", rep.Pages, rep.Sections)
+	fmt.Printf("corrupt       %d sections failed to decode\n", rep.CorruptSections)
+	fmt.Printf("dangling      %d secondary addresses point at missing or wrong-type sections\n", rep.DanglingAddrs)
+	for i, issue := range rep.Issues {
+		if i >= *maxIssues {
+			fmt.Printf("  ... and %d more issues\n", len(rep.Issues)-i)
+			break
+		}
+		fmt.Printf("  %s\n", issue)
+	}
+	if !rep.OK() {
+		fmt.Println("validate      FAILED")
+		os.Exit(1)
+	}
+	fmt.Println("validate      image decodes cleanly, every secondary address resolves ✓")
 }
 
 func printNode(inst *dataset.Instance, v graph.NodeID) {

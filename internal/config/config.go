@@ -152,6 +152,7 @@ func (g GNN) SubgraphNodes() int {
 // McPAT/DRAMPower/CACTI toolchain.
 type Energy struct {
 	FlashReadPage    float64 // J per page sense
+	FlashRetrySense  float64 // J per extra Vref-shift read-retry sense
 	FlashSampleOp    float64 // J per on-die sampler invocation
 	ChannelPerByte   float64 // J per byte moved on a flash channel
 	DRAMPerByte      float64 // J per byte read or written in SSD DRAM
@@ -172,6 +173,114 @@ type Ablation struct {
 	NoCoalesce bool // disable secondary-section command coalescing (§V-A)
 }
 
+// Fault configures the NAND reliability model (internal/fault): per-die
+// RBER as a function of P/E cycles plus a retention term, ECC tiers
+// (hard decode → read-retry → firmware soft decode → uncorrectable),
+// the firmware recovery policy for uncorrectable pages, and injected
+// die/channel outages. Enabled=false (the default) bypasses the model
+// entirely: simulations are byte-identical to a build without it.
+type Fault struct {
+	Enabled bool
+
+	// RBER curve: rber(block) = BaseRBER + WearRBERPerPE·PE + RetentionRBER.
+	BaseRBER      float64 // raw bit error rate of a fresh block
+	WearRBERPerPE float64 // added RBER per program/erase cycle
+	RetentionRBER float64 // added RBER from retention age
+
+	// ECC tiers, in correctable raw bit errors per page. A read whose
+	// drawn error count is ≤ HardECCBits decodes on the fly; ≤ RetryECCBits
+	// after extra Vref-shift senses; ≤ SoftECCBits after firmware soft
+	// decode; beyond that the page is uncorrectable.
+	HardECCBits  int
+	RetryECCBits int
+	SoftECCBits  int
+
+	MaxRetrySenses int      // Vref-shift senses before falling to soft decode
+	RetrySenseTime sim.Time // extra die-occupancy time per retry sense
+	SoftDecodeTime sim.Time // firmware core time per soft-decoded page
+
+	// Uncorrectable-page recovery policy (graceful degradation).
+	MaxRecoveryAttempts int      // bounded re-sense attempts before retirement
+	RetryBackoff        sim.Time // base backoff, doubled per attempt
+	CmdDeadline         sim.Time // per-command recovery deadline (0 = none)
+	RelocateAfterRetire int      // reserved-region retirements that trigger a
+	// DirectGraph relocation (0 disables relocation; remap-only)
+
+	// Injected wear and outages.
+	InitialPECycles int   // pre-existing P/E cycles on every block
+	DeadDies        []int // die indexes failed from the start
+	DeadChannels    []int // channel indexes failed from the start
+
+	// SpareRows is how many block rows at the top of the device are held
+	// back as remap targets for retired pages.
+	SpareRows int
+}
+
+// DefaultFault returns the reliability model's default tuning with the
+// model itself switched off. The ECC tiers approximate a 4 KB-page
+// LDPC pipeline; BaseRBER matches ULL NAND (< 1e-7 per Section VI-F).
+func DefaultFault() Fault {
+	return Fault{
+		Enabled:             false,
+		BaseRBER:            1e-7,
+		WearRBERPerPE:       5e-10,
+		RetentionRBER:       0,
+		HardECCBits:         72,
+		RetryECCBits:        120,
+		SoftECCBits:         200,
+		MaxRetrySenses:      5,
+		RetrySenseTime:      1500 * sim.Nanosecond,
+		SoftDecodeTime:      10 * sim.Microsecond,
+		MaxRecoveryAttempts: 3,
+		RetryBackoff:        2 * sim.Microsecond,
+		CmdDeadline:         2 * sim.Millisecond,
+		RelocateAfterRetire: 1,
+		SpareRows:           2,
+	}
+}
+
+// Validate checks the fault section against the flash geometry.
+func (f Fault) Validate(fl Flash) error {
+	if !f.Enabled {
+		return nil
+	}
+	switch {
+	case f.BaseRBER < 0 || f.BaseRBER >= 0.5:
+		return fmt.Errorf("config: base RBER %v out of range [0, 0.5)", f.BaseRBER)
+	case f.WearRBERPerPE < 0 || f.RetentionRBER < 0:
+		return fmt.Errorf("config: RBER terms must be non-negative")
+	case f.HardECCBits <= 0 || f.RetryECCBits < f.HardECCBits || f.SoftECCBits < f.RetryECCBits:
+		return fmt.Errorf("config: ECC tiers must be positive and ascending (%d/%d/%d)",
+			f.HardECCBits, f.RetryECCBits, f.SoftECCBits)
+	case f.MaxRetrySenses <= 0 || f.RetrySenseTime < 0:
+		return fmt.Errorf("config: retry senses must be positive")
+	case f.SoftDecodeTime < 0 || f.RetryBackoff < 0 || f.CmdDeadline < 0:
+		return fmt.Errorf("config: fault timing costs must be non-negative")
+	case f.MaxRecoveryAttempts < 0 || f.RelocateAfterRetire < 0:
+		return fmt.Errorf("config: recovery policy counts must be non-negative")
+	case f.InitialPECycles < 0:
+		return fmt.Errorf("config: initial P/E cycles must be non-negative")
+	case f.SpareRows < 0 || f.SpareRows >= fl.BlocksPerDie:
+		return fmt.Errorf("config: spare rows %d outside [0, %d)", f.SpareRows, fl.BlocksPerDie)
+	}
+	for _, d := range f.DeadDies {
+		if d < 0 || d >= fl.TotalDies() {
+			return fmt.Errorf("config: dead die %d outside [0, %d)", d, fl.TotalDies())
+		}
+	}
+	dead := 0
+	for _, c := range f.DeadChannels {
+		if c < 0 || c >= fl.Channels {
+			return fmt.Errorf("config: dead channel %d outside [0, %d)", c, fl.Channels)
+		}
+		dead++
+	}
+	if dead >= fl.Channels {
+		return fmt.Errorf("config: all %d channels dead", fl.Channels)
+	}
+	return nil
+}
+
 // Config is the complete platform configuration.
 type Config struct {
 	Flash      Flash
@@ -185,6 +294,7 @@ type Config struct {
 	GNN        GNN
 	Energy     Energy
 	Ablation   Ablation
+	Fault      Fault
 	Seed       uint64
 }
 
@@ -238,7 +348,8 @@ func Default() Config {
 			Rows: 128, Cols: 128, VectorLanes: 1024,
 			ClockHz: 940e6, SRAMBytes: 24 << 20,
 		},
-		GNN: GNN{Hops: 3, Fanout: 3, HiddenDim: 128, BatchSize: 64, Layers: 3},
+		GNN:   GNN{Hops: 3, Fanout: 3, HiddenDim: 128, BatchSize: 64, Layers: 3},
+		Fault: DefaultFault(),
 		// Energy constants calibrated to Figure 19's component shares
 		// (see EXPERIMENTS.md). Host CPU compute energy is excluded
 		// from the device-plus-link accounting, matching the paper's
@@ -246,6 +357,7 @@ func Default() Config {
 		// to include it.
 		Energy: Energy{
 			FlashReadPage:    0.4e-6,
+			FlashRetrySense:  0.3e-6,
 			FlashSampleOp:    0.02e-6,
 			ChannelPerByte:   200e-12,
 			DRAMPerByte:      120e-12,
@@ -285,5 +397,5 @@ func (c Config) Validate() error {
 	case c.SSDAccel.Rows <= 0 || c.SSDAccel.Cols <= 0 || c.SSDAccel.ClockHz <= 0:
 		return fmt.Errorf("config: accelerator shape must be positive")
 	}
-	return nil
+	return c.Fault.Validate(c.Flash)
 }

@@ -88,9 +88,19 @@ func Experiments() []Experiment {
 	}
 }
 
+// AllExperiments returns every runnable experiment: the paper set plus
+// the studies that are not part of the default `all` reproduction run
+// (the reliability sweep perturbs the fault model, not the paper's
+// evaluation axes).
+func AllExperiments() []Experiment {
+	return append(Experiments(),
+		Experiment{"reliab", "Reliability: throughput and latency vs wear, RBER, and outages", RunReliability},
+	)
+}
+
 // ByID returns the experiment with the given id.
 func ByID(id string) (Experiment, error) {
-	for _, e := range Experiments() {
+	for _, e := range AllExperiments() {
 		if e.ID == id {
 			return e, nil
 		}
@@ -100,7 +110,7 @@ func ByID(id string) (Experiment, error) {
 
 func ids() []string {
 	var out []string
-	for _, e := range Experiments() {
+	for _, e := range AllExperiments() {
 		out = append(out, e.ID)
 	}
 	return out

@@ -64,6 +64,32 @@ type Build struct {
 // NodeAddr returns node v's primary section address.
 func (b *Build) NodeAddr(v graph.NodeID) Addr { return b.Plans[v].Primary }
 
+// Clone deep-copies the build: plans (including their address slices)
+// and page bytes. Relocation and fault-recovery remapping mutate a build
+// in place; systems that share one materialized instance clone it first
+// so concurrent experiments stay independent.
+func (b *Build) Clone() *Build {
+	c := &Build{Layout: b.Layout, Stats: b.Stats}
+	c.Plans = make([]NodePlan, len(b.Plans))
+	for i := range b.Plans {
+		p := b.Plans[i]
+		if p.Secondaries != nil {
+			p.Secondaries = append([]Addr(nil), p.Secondaries...)
+		}
+		if p.SecOffsets != nil {
+			p.SecOffsets = append([]int(nil), p.SecOffsets...)
+		}
+		c.Plans[i] = p
+	}
+	if b.Pages != nil {
+		c.Pages = make(map[uint32][]byte, len(b.Pages))
+		for pn, page := range b.Pages {
+			c.Pages[pn] = append([]byte(nil), page...)
+		}
+	}
+	return c
+}
+
 // PageNumbers returns the set of allocated physical pages, usable for
 // the Section VI-E security verification.
 func (b *Build) PageNumbers() map[uint32]bool {

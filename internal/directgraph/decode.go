@@ -117,6 +117,9 @@ func decodeSection(l Layout, page []byte, off int, typ byte, length int) (*Secti
 
 // SectionsInPage counts the valid sections in a page.
 func SectionsInPage(l Layout, page []byte) (int, error) {
+	if len(page) != l.PageSize {
+		return 0, fmt.Errorf("%w: page length %d != %d", ErrCorruptSection, len(page), l.PageSize)
+	}
 	n := 0
 	off := 0
 	for off+commonHeaderLen <= l.PageSize {

@@ -56,6 +56,56 @@ func FuzzFindSection(f *testing.F) {
 	})
 }
 
+// FuzzRelocate round-trips mutated pages through the wear-levelling
+// address patcher. Relocation runs inside firmware against whatever
+// bytes flash returns, so it must reject corruption with an error (never
+// a panic or out-of-bounds write), and on pages it does accept it must
+// preserve the section count and keep every section decodable at the
+// shifted location.
+func FuzzRelocate(f *testing.F) {
+	l := Layout{PageSize: 1024, FeatureDim: 4}
+	g, err := graph.Generate(graph.GenSpec{Nodes: 60, AvgDegree: 8, FeatureDim: 4, PowerLaw: 2.0, Seed: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	b, err := BuildGraph(l, g, &SeqAllocator{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for pn := range b.Pages {
+		f.Add(b.Pages[pn], uint32(64))
+		break
+	}
+	f.Add(make([]byte, 1024), uint32(1))
+	f.Fuzz(func(t *testing.T, page []byte, delta uint32) {
+		delta %= 1 << 20 // keep page<<SectionBits from wrapping uint32
+		cp := append([]byte(nil), page...)
+		fb := &Build{Layout: l, Pages: map[uint32][]byte{7: cp}}
+		before, beforeErr := SectionsInPage(l, cp)
+		if err := Relocate(fb, delta); err != nil {
+			return // rejected cleanly: fine, whatever the corruption was
+		}
+		moved, ok := fb.Pages[7+delta]
+		if !ok {
+			t.Fatalf("relocated page missing from key %d", 7+delta)
+		}
+		if beforeErr == nil {
+			after, err := SectionsInPage(l, moved)
+			if err != nil {
+				t.Fatalf("accepted page undecodable after relocation: %v", err)
+			}
+			if after != before {
+				t.Fatalf("section count changed %d -> %d", before, after)
+			}
+			for i := 0; i < after; i++ {
+				if _, err := FindSection(l, moved, i); err != nil {
+					t.Fatalf("section %d undecodable after relocation: %v", i, err)
+				}
+			}
+		}
+	})
+}
+
 // FuzzSectionsInPage must likewise never panic on corrupt pages.
 func FuzzSectionsInPage(f *testing.F) {
 	l := Layout{PageSize: 512, FeatureDim: 2}

@@ -25,6 +25,10 @@ func Relocate(b *Build, delta uint32) error {
 	}
 	moved := make(map[uint32][]byte, len(b.Pages))
 	for pn, page := range b.Pages {
+		if len(page) != l.PageSize {
+			return fmt.Errorf("%w: page %d length %d != %d during relocation",
+				ErrCorruptSection, pn, len(page), l.PageSize)
+		}
 		// Patch embedded addresses section by section.
 		off := 0
 		for off+commonHeaderLen <= l.PageSize {
@@ -34,12 +38,21 @@ func Relocate(b *Build, delta uint32) error {
 			}
 			length := getU16(page, off+2)
 			if length < commonHeaderLen || off+length > l.PageSize {
-				return fmt.Errorf("directgraph: corrupt section during relocation (page %d offset %d)", pn, off)
+				return fmt.Errorf("%w: length %d during relocation (page %d offset %d)",
+					ErrCorruptSection, length, pn, off)
 			}
 			switch typ {
 			case SectionTypePrimary:
 				inline := getU16(page, off+12)
 				secCount := getU16(page, off+14)
+				// Check the declared counts against the section length
+				// before patching: a corrupt header must produce an
+				// error, never an out-of-bounds write.
+				if length < primaryHeaderLen ||
+					primaryHeaderLen+secCount*addrLen+l.FeatureBytes()+inline*addrLen != length {
+					return fmt.Errorf("%w: primary counts %d/%d overflow length %d during relocation (page %d offset %d)",
+						ErrCorruptSection, secCount, inline, length, pn, off)
+				}
 				p := off + primaryHeaderLen
 				for i := 0; i < secCount; i++ {
 					putU32(page, p, uint32(shift(Addr(getU32(page, p)))))
@@ -52,13 +65,17 @@ func Relocate(b *Build, delta uint32) error {
 				}
 			case SectionTypeSecondary:
 				count := getU16(page, off+12)
+				if length < secondaryHeaderLen || secondaryHeaderLen+count*addrLen != length {
+					return fmt.Errorf("%w: secondary count %d overflows length %d during relocation (page %d offset %d)",
+						ErrCorruptSection, count, length, pn, off)
+				}
 				p := off + secondaryHeaderLen
 				for i := 0; i < count; i++ {
 					putU32(page, p, uint32(shift(Addr(getU32(page, p)))))
 					p += addrLen
 				}
 			default:
-				return fmt.Errorf("directgraph: unknown section type %#x during relocation", typ)
+				return fmt.Errorf("%w: type %#x during relocation", ErrBadSectionType, typ)
 			}
 			off += length
 		}

@@ -1,0 +1,107 @@
+package directgraph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Image validation: walk a materialized DirectGraph page by page,
+// decode every section, and chase every secondary address. This is the
+// offline integrity check behind `dgtool validate`, exercising the same
+// ErrCorruptSection paths the on-die sampler hits at runtime.
+
+// ValidationIssue is one problem found in a DirectGraph image.
+type ValidationIssue struct {
+	Page    uint32
+	Section int // section index within the page, -1 for page-level issues
+	Err     error
+}
+
+func (i ValidationIssue) String() string {
+	return fmt.Sprintf("page %d section %d: %v", i.Page, i.Section, i.Err)
+}
+
+// ValidationReport summarizes a full image walk.
+type ValidationReport struct {
+	Pages           int // pages visited
+	Sections        int // sections decoded successfully
+	CorruptSections int // sections that failed to decode
+	DanglingAddrs   int // secondary addrs pointing at missing/non-secondary targets
+	Issues          []ValidationIssue
+}
+
+// OK reports whether the image validated cleanly.
+func (r *ValidationReport) OK() bool {
+	return r.CorruptSections == 0 && r.DanglingAddrs == 0 && len(r.Issues) == 0
+}
+
+func (r *ValidationReport) add(page uint32, section int, err error) {
+	r.Issues = append(r.Issues, ValidationIssue{Page: page, Section: section, Err: err})
+}
+
+// Validate decodes every section of every page in the build and verifies
+// that each embedded secondary address lands on an existing page and
+// decodes as a secondary section. Unlike the sampler it does not stop at
+// the first error: all issues are collected, in deterministic (sorted
+// page) order. Layout-only builds (nil Pages) validate trivially.
+func Validate(b *Build) *ValidationReport {
+	r := &ValidationReport{}
+	if b.Pages == nil {
+		return r
+	}
+	l := b.Layout
+	pages := make([]uint32, 0, len(b.Pages))
+	for pn := range b.Pages {
+		pages = append(pages, pn)
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+
+	// checkTarget verifies one embedded secondary address.
+	checkTarget := func(from uint32, fromSec int, a Addr) {
+		target, ok := b.Pages[l.Page(a)]
+		if !ok {
+			r.DanglingAddrs++
+			r.add(from, fromSec, fmt.Errorf("secondary addr %#x targets missing page %d", uint32(a), l.Page(a)))
+			return
+		}
+		s, err := FindSection(l, target, l.Section(a))
+		if err != nil {
+			r.DanglingAddrs++
+			r.add(from, fromSec, fmt.Errorf("secondary addr %#x: %w", uint32(a), err))
+			return
+		}
+		if s.Type != SectionTypeSecondary {
+			r.DanglingAddrs++
+			r.add(from, fromSec, fmt.Errorf("secondary addr %#x targets type %d section", uint32(a), s.Type))
+		}
+	}
+
+	for _, pn := range pages {
+		page := b.Pages[pn]
+		r.Pages++
+		if len(page) != l.PageSize {
+			r.CorruptSections++
+			r.add(pn, -1, fmt.Errorf("%w: page length %d != %d", ErrCorruptSection, len(page), l.PageSize))
+			continue
+		}
+		for idx := 0; ; idx++ {
+			s, err := FindSection(l, page, idx)
+			if errors.Is(err, ErrSectionNotFound) {
+				break
+			}
+			if err != nil {
+				r.CorruptSections++
+				r.add(pn, idx, err)
+				break // the section chain is unwalkable past a bad header
+			}
+			r.Sections++
+			if s.Type == SectionTypePrimary {
+				for _, sa := range s.Secondaries {
+					checkTarget(pn, idx, sa)
+				}
+			}
+		}
+	}
+	return r
+}

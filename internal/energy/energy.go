@@ -20,6 +20,7 @@ type Component string
 // Energy buckets.
 const (
 	FlashRead    Component = "flash_read"    // page senses
+	FlashRetry   Component = "flash_retry"   // extra Vref-shift read-retry senses
 	FlashSample  Component = "flash_sample"  // on-die sampler ops
 	ChannelXfer  Component = "channel_xfer"  // flash channel bus
 	Router       Component = "router"        // channel-level command routing
@@ -50,6 +51,9 @@ func (m *Meter) Add(c Component, j float64) { m.joules[c] += j }
 
 // FlashReadPage records one page sense.
 func (m *Meter) FlashReadPage() { m.Add(FlashRead, m.cfg.FlashReadPage) }
+
+// FlashRetrySenses records n extra Vref-shift read-retry senses.
+func (m *Meter) FlashRetrySenses(n int) { m.Add(FlashRetry, float64(n)*m.cfg.FlashRetrySense) }
 
 // FlashSampleOp records one on-die sampler invocation.
 func (m *Meter) FlashSampleOp() { m.Add(FlashSample, m.cfg.FlashSampleOp) }
@@ -130,7 +134,7 @@ type Share struct {
 // and returns each group's share of total energy.
 func (m *Meter) GroupFractions() map[string]float64 {
 	groups := map[Component]string{
-		FlashRead: "flash", FlashSample: "flash",
+		FlashRead: "flash", FlashRetry: "flash", FlashSample: "flash",
 		ChannelXfer: "transfer", Router: "transfer", SSDDRAM: "transfer",
 		EmbeddedCore: "frontend", Static: "frontend",
 		AccelCompute: "accel",

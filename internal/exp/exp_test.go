@@ -36,6 +36,11 @@ func TestConfigDigestDistinguishesFields(t *testing.T) {
 		func(c *config.Config) { c.GNN.BatchSize++ },
 		func(c *config.Config) { c.Ablation.NoPipeline = true },
 		func(c *config.Config) { c.Firmware.Cores++ },
+		func(c *config.Config) { c.Fault.Enabled = true },
+		func(c *config.Config) { c.Fault.BaseRBER *= 10 },
+		func(c *config.Config) { c.Fault.InitialPECycles += 1000 },
+		func(c *config.Config) { c.Fault.DeadDies = []int{0} },
+		func(c *config.Config) { c.Fault.DeadChannels = []int{1} },
 	}
 	d0 := ConfigDigest(base)
 	if d0 != ConfigDigest(base) {

@@ -70,6 +70,10 @@ func (p *Processor) FlashCmd(done func()) { p.Do(p.cfg.FlashCmdCost, done) }
 // ParseResult models classifying one sampling result landed in DRAM.
 func (p *Processor) ParseResult(done func()) { p.Do(p.cfg.ResultParseCost, done) }
 
+// ECCDecode models a firmware soft-decode pass (or other ECC recovery
+// work) of the given duration on one embedded core.
+func (p *Processor) ECCDecode(cost sim.Time, done func()) { p.Do(cost, done) }
+
 // SampleNodes models firmware-based neighbor sampling of n neighbors
 // from one node's list (the SmartSage/BG-1 offload path).
 func (p *Processor) SampleNodes(n int, done func()) {

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"beacongnn/internal/config"
+	"beacongnn/internal/fault"
 	"beacongnn/internal/sim"
 )
 
@@ -72,6 +73,17 @@ type Backend struct {
 	// OnRead and OnTransfer, when set, receive energy-accounting events.
 	OnRead     func()
 	OnTransfer func(bytes int)
+
+	// FaultInjector, when set, classifies every sense (clean / retry /
+	// soft-decode / uncorrectable) and reroutes dead channels. Nil (the
+	// default) keeps the backend's event sequence bit-for-bit identical
+	// to a build without the fault model.
+	FaultInjector *fault.Injector
+	// OnRetrySense receives the extra Vref-shift sense count of each
+	// non-clean read, for energy accounting.
+	OnRetrySense func(senses int)
+
+	tracer sim.Tracer
 }
 
 // New builds a backend on the kernel. timelinePoints bounds the
@@ -108,6 +120,7 @@ func New(k *sim.Kernel, cfg config.Flash, timelinePoints int) (*Backend, error) 
 // channel bus; spans are attributed as flash.die / flash.sampler /
 // flash.channel with the resource index as the lane. Pass nil to detach.
 func (b *Backend) SetTracer(t sim.Tracer) {
+	b.tracer = t
 	for i, d := range b.dies {
 		d.SetTracer(t, "flash.die", i)
 	}
@@ -139,25 +152,56 @@ func (b *Backend) BusBytes() uint64 { return b.busBytes }
 // accounting), done when the result is ready in the data register.
 // Neither transfers anything over the channel; use Transfer for that.
 func (b *Backend) ReadPage(page uint32, dieExtra sim.Time, senseStart func(sim.Time), done func()) {
+	b.SensePage(page, dieExtra, senseStart, func(fault.Outcome) {
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// SensePage is ReadPage with the fault model exposed: done receives the
+// sense's ECC outcome so callers can run the firmware recovery ladder.
+// With no FaultInjector the outcome is always zero (Clean) and the event
+// sequence matches ReadPage exactly. Extra Vref-shift senses extend the
+// die occupancy of this request; they are reported as a flash.retry span
+// to the tracer.
+func (b *Backend) SensePage(page uint32, dieExtra sim.Time, senseStart func(sim.Time), done func(fault.Outcome)) {
 	die := b.geom.GlobalDie(page)
 	b.reads++
 	if b.OnRead != nil {
 		b.OnRead()
 	}
+	var out fault.Outcome
+	service := b.cfg.ReadLatency
+	if b.FaultInjector != nil {
+		out = b.FaultInjector.Classify(die, b.geom.BlockOf(page))
+		service += out.ExtraDieTime
+		if out.RetrySenses > 0 && b.OnRetrySense != nil {
+			b.OnRetrySense(out.RetrySenses)
+		}
+	}
 	arrived := b.k.Now()
-	b.dies[die].SubmitFull(b.cfg.ReadLatency, func(start sim.Time) {
+	b.dies[die].SubmitFull(service, func(start sim.Time) {
 		b.WaitStats.Observe(start - arrived)
 		if senseStart != nil {
 			senseStart(start)
 		}
 	}, func() {
+		if out.ExtraDieTime > 0 && b.tracer != nil {
+			end := b.k.Now()
+			b.tracer.ServerSpan("flash.retry", die, end-out.ExtraDieTime, end-out.ExtraDieTime, end)
+		}
 		if dieExtra <= 0 {
 			if done != nil {
-				done()
+				done(out)
 			}
 			return
 		}
-		b.samplers[die].Submit(dieExtra, done)
+		if done == nil {
+			b.samplers[die].Submit(dieExtra, nil)
+			return
+		}
+		b.samplers[die].Submit(dieExtra, func() { done(out) })
 	})
 }
 
@@ -167,11 +211,16 @@ func (b *Backend) Transfer(page uint32, n int, done func()) {
 	b.TransferOnChannel(b.geom.Channel(page), n, done)
 }
 
-// TransferOnChannel is Transfer with an explicit channel index.
+// TransferOnChannel is Transfer with an explicit channel index. Dead
+// channels (injected outages) reroute deterministically to the next
+// healthy bus, whose queue widens to absorb the displaced traffic.
 func (b *Backend) TransferOnChannel(ch, n int, done func()) {
 	b.busBytes += uint64(n)
 	if b.OnTransfer != nil {
 		b.OnTransfer(n)
+	}
+	if b.FaultInjector != nil {
+		ch = b.FaultInjector.RouteChannel(ch)
 	}
 	b.channels[ch].Submit(b.cfg.TransferTime(n), done)
 }
@@ -179,7 +228,11 @@ func (b *Backend) TransferOnChannel(ch, n int, done func()) {
 // IssueCommand occupies the page's channel bus for the command/address
 // cycles of one flash command (how sampling commands reach dies).
 func (b *Backend) IssueCommand(page uint32, done func()) {
-	b.channels[b.geom.Channel(page)].Submit(b.cfg.CmdOverhead, done)
+	ch := b.geom.Channel(page)
+	if b.FaultInjector != nil {
+		ch = b.FaultInjector.RouteChannel(ch)
+	}
+	b.channels[ch].Submit(b.cfg.CmdOverhead, done)
 }
 
 // ProgramPage writes a page: channel transfer of the full page followed

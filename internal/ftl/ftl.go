@@ -31,6 +31,7 @@ type blockState struct {
 	eraseCount int
 	reserved   bool // pinned for DirectGraph, invisible to regular FTL
 	allocated  bool // holds regular mapped data
+	retired    bool // worn out or failed; never allocated or reserved again
 }
 
 // FTL is the translation-layer state. It is a functional model (no
@@ -45,6 +46,13 @@ type FTL struct {
 
 	reservedStart int // first reserved row
 	reservedRows  int // number of reserved rows (0 = none)
+
+	spareStart int // first spare row (top of device), 0 rows = none
+	spareRows  int
+	spareNext  uint32 // remap cursor: next candidate spare page
+
+	remap  map[uint32]uint32 // retired page → spare page (retire.go)
+	relocs []relocation      // DirectGraph moves, in order (retire.go)
 
 	al *allocState // regular-path log allocator + GC state (gc.go)
 }
@@ -187,6 +195,11 @@ func (f *FTL) EraseCount(id BlockID) int { return f.block(id).eraseCount }
 func (f *FTL) WearDiscrepancy() float64 {
 	var regSum, regN, resSum float64
 	for id, st := range f.blocks {
+		if st.retired {
+			// Retired blocks take no further wear; counting their frozen
+			// P/E totals would skew the gap toward reclaiming forever.
+			continue
+		}
 		if f.rowReserved(id.Block) {
 			resSum += float64(st.eraseCount)
 		} else if st.allocated || st.eraseCount > 0 {
@@ -228,16 +241,25 @@ func (f *FTL) PlanReclamation() (*ReclaimPlan, error) {
 		return nil, fmt.Errorf("ftl: nothing to reclaim")
 	}
 	rows := f.reservedRows
+	// Scan forward for the first run of rows that are free of regular
+	// data and retired blocks, stopping short of the spare region.
+	limit := f.cfg.BlocksPerDie - f.spareRows
 	newStart := f.reservedStart + rows
-	if newStart+rows > f.cfg.BlocksPerDie {
-		return nil, fmt.Errorf("ftl: out of block rows for reclamation")
-	}
-	for r := newStart; r < newStart+rows; r++ {
-		for d := 0; d < f.cfg.TotalDies(); d++ {
-			if f.block(BlockID{Die: d, Block: r}).allocated {
-				return nil, fmt.Errorf("ftl: reclamation target row %d holds regular data", r)
+scan:
+	for {
+		if newStart+rows > limit {
+			return nil, fmt.Errorf("ftl: out of block rows for reclamation")
+		}
+		for r := newStart; r < newStart+rows; r++ {
+			for d := 0; d < f.cfg.TotalDies(); d++ {
+				st := f.block(BlockID{Die: d, Block: r})
+				if st.allocated || st.retired {
+					newStart = r + 1
+					continue scan
+				}
 			}
 		}
+		break
 	}
 	plan := &ReclaimPlan{
 		OldFirstPage: uint32(f.reservedStart) * f.rowPages(),

@@ -26,6 +26,7 @@ const (
 	PhaseChannel    Phase = "channel"           // bus occupancy
 	PhaseDRAM       Phase = "dram"              // SSD DRAM transfer
 	PhaseAccel      Phase = "accel"             // GNN computation
+	PhaseECC        Phase = "ecc"               // soft-decode + uncorrectable recovery
 )
 
 // Collector gathers all run measurements. Not safe for concurrent use;

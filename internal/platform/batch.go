@@ -81,7 +81,7 @@ func (s *System) launchTargets(b *batchState, targets []graph.NodeID) {
 	if s.caps.Sampler == SampleOnDie {
 		for _, tgt := range targets {
 			cmd := sampler.Command{
-				Addr:    s.inst.Build.NodeAddr(tgt),
+				Addr:    s.build.NodeAddr(tgt),
 				Hop:     0,
 				Target:  int32(tgt),
 				Batch:   b.id,
@@ -215,7 +215,7 @@ func (b *batchState) dispatchDie(cmd sampler.Command) {
 	}
 	s.fwPhase(cost)
 	s.fw.Do(cost, func() {
-		page := s.layout.Page(cmd.Addr)
+		page := s.resolvePage(s.layout.Page(cmd.Addr))
 		s.backend.IssueCommand(page, func() {
 			b.execDie(cmd, nil, func(res *sampler.Result) {
 				// Results DMA into DRAM and the firmware parses them.
@@ -241,38 +241,43 @@ func (b *batchState) dispatchDie(cmd sampler.Command) {
 func (b *batchState) execDie(cmd sampler.Command, onSense func(), onDone func(*sampler.Result)) {
 	s := b.sys
 	page := s.layout.Page(cmd.Addr)
-	pageBytes, ok := s.inst.Build.Pages[page]
-	if !ok {
-		panic(fmt.Sprintf("platform: command addresses unmaterialized page %d", page))
-	}
 	draws := cmd.SampleCount
 	if draws <= 0 {
 		draws = s.cfg.GNN.Fanout
 	}
 	extra := s.cfg.DieSampler.Fixed + sim.Time(draws)*s.cfg.DieSampler.PerDraw
 	var senseStart, senseEnd sim.Time
-	s.backend.ReadPage(page, extra, func(at sim.Time) {
+	s.senseManaged(page, extra, func(at sim.Time) {
 		senseStart = at
 		if cmd.Batch == 0 {
 			// Hop timelines (Fig. 16) track a single batch; pipelined
 			// batches would blur the spans together.
 			s.coll.HopStart(cmd.Hop, at)
 		}
-	}, func() {
+	}, func(final uint32) {
 		senseEnd = s.k.Now()
-		die := s.backend.Geometry().GlobalDie(page)
+		pageBytes, ok := s.build.Pages[final]
+		if !ok {
+			// A command addressing a hole in the image is recoverable at
+			// the run level (the batch cannot finish, the run fails with
+			// context) — not a process-crashing invariant.
+			s.fail(fmt.Errorf("platform: command addresses unmaterialized page %d (batch %d hop %d)", final, cmd.Batch, cmd.Hop))
+			return
+		}
+		die := s.backend.Geometry().GlobalDie(final)
 		res, err := sampler.Execute(s.layout, pageBytes, cmd, s.samplerCfg, s.dieTRNG[die])
 		if err != nil {
 			// Section VI-E: the sampler aborts and control returns to
-			// firmware; in a clean simulation this is a build bug.
-			panic(fmt.Sprintf("platform: die sampler failed: %v", err))
+			// firmware. The run fails with context instead of crashing.
+			s.fail(fmt.Errorf("platform: die sampler failed on page %d: %w", final, err))
+			return
 		}
 		s.meter.FlashSampleOp()
 		if onSense != nil {
 			onSense()
 		}
 		n := res.BusBytes()
-		s.backend.Transfer(page, n, func() {
+		s.backend.Transfer(final, n, func() {
 			xfer := s.cfg.Flash.TransferTime(n)
 			waitAfter := s.k.Now() - senseEnd - xfer
 			if waitAfter < 0 {
@@ -304,7 +309,7 @@ func (b *batchState) accountDie(cmd sampler.Command, res *sampler.Result) []samp
 		if s.onSample != nil && !c.Secondary {
 			// The command's address names the child's primary section;
 			// decode the child id for the observer.
-			if sec, err := s.inst.Build.ReadSection(c.Addr); err == nil {
+			if sec, err := s.build.ReadSection(c.Addr); err == nil {
 				s.onSample(res.Node, sec.NodeID, c.Hop)
 			}
 		}

@@ -47,7 +47,7 @@ func (s *System) pagesFor(v graph.NodeID, bytes int) []uint32 {
 	if n < 1 {
 		n = 1
 	}
-	base := s.layout.Page(s.inst.Build.NodeAddr(v))
+	base := s.layout.Page(s.build.NodeAddr(v))
 	pages := make([]uint32, n)
 	for i := range pages {
 		pages[i] = base + uint32(i)
@@ -89,16 +89,16 @@ func (b *batchState) dispatchPage(r nodeRead) {
 // sense, full-page channel transfer, DRAM landing.
 func (s *System) flashPageRead(page uint32, created sim.Time, step int, record bool, done func()) {
 	var senseStart, senseEnd sim.Time
-	s.backend.ReadPage(page, 0, func(at sim.Time) {
+	s.senseManaged(page, 0, func(at sim.Time) {
 		senseStart = at
 		if record {
 			// Hop timelines (Fig. 16) track batch 0 only.
 			s.coll.HopStart(step, at)
 		}
-	}, func() {
+	}, func(final uint32) {
 		senseEnd = s.k.Now()
 		ps := s.cfg.Flash.PageSize
-		s.backend.Transfer(page, ps, func() {
+		s.backend.Transfer(final, ps, func() {
 			xfer := s.cfg.Flash.TransferTime(ps)
 			waitAfter := s.k.Now() - senseEnd - xfer
 			if waitAfter < 0 {
@@ -160,7 +160,7 @@ func (b *batchState) fwRead(r nodeRead) {
 	var pages []uint32
 	if s.caps.DirectGraph {
 		// One primary page holds feature + inline neighbors.
-		pages = []uint32{s.layout.Page(s.inst.Build.NodeAddr(r.node))}
+		pages = []uint32{s.layout.Page(s.build.NodeAddr(r.node))}
 	} else {
 		pages = s.pagesFor(r.node, s.recordBytes(r.node, r.sample))
 	}
@@ -311,7 +311,7 @@ func (b *batchState) drawChildren(r nodeRead) []nodeRead {
 		return out
 	}
 	// BG-DG: DirectGraph-aware drawing with secondary coalescing.
-	plan := &s.inst.Build.Plans[r.node]
+	plan := &s.build.Plans[r.node]
 	coalesce := map[int][]graph.NodeID{}
 	for i := 0; i < s.cfg.GNN.Fanout; i++ {
 		idx := s.rng.Intn(deg)

@@ -9,8 +9,10 @@ import (
 	"beacongnn/internal/directgraph"
 	"beacongnn/internal/dram"
 	"beacongnn/internal/energy"
+	"beacongnn/internal/fault"
 	"beacongnn/internal/firmware"
 	"beacongnn/internal/flash"
+	"beacongnn/internal/ftl"
 	"beacongnn/internal/graph"
 	"beacongnn/internal/metrics"
 	"beacongnn/internal/nvme"
@@ -45,6 +47,17 @@ type System struct {
 	rng        *xrand.Source
 	samplerCfg sampler.Config
 	batches    map[int32]*batchState
+
+	// build is the DirectGraph image this system reads. It aliases
+	// inst.Build normally; with the fault model enabled it is a private
+	// clone, because recovery mutates it (remaps, relocation) and the
+	// instance is shared across memoized parallel experiments.
+	build *directgraph.Build
+	ftl   *ftl.FTL        // nil unless cfg.Fault.Enabled
+	inj   *fault.Injector // nil unless cfg.Fault.Enabled
+
+	failErr    error // first unrecoverable device error; set via fail()
+	retireWear int   // wear-caused retirements since the last relocation
 
 	// targetSource, when set, overrides mini-batch target selection —
 	// used for trace replay (internal/trace).
@@ -135,6 +148,26 @@ func NewSystem(kind Kind, cfg config.Config, inst *dataset.Instance, timelinePoi
 	}
 	if s.layout.PageSize != cfg.Flash.PageSize {
 		return nil, fmt.Errorf("platform: dataset built with %d B pages, flash has %d B", s.layout.PageSize, cfg.Flash.PageSize)
+	}
+	s.build = inst.Build
+	if cfg.Fault.Enabled {
+		// Recovery mutates the image (spare remaps, relocation), so this
+		// system works on a private clone of the shared instance.
+		s.build = inst.Build.Clone()
+		s.ftl = ftl.New(cfg.Flash)
+		if _, _, err := s.ftl.ReserveForPages(len(s.build.Pages)); err != nil {
+			return nil, fmt.Errorf("platform: fault model: %w", err)
+		}
+		if err := s.ftl.ReserveSpares(cfg.Fault.SpareRows); err != nil {
+			return nil, fmt.Errorf("platform: fault model: %w", err)
+		}
+		s.inj = fault.NewInjector(cfg.Fault, cfg.Flash, cfg.Seed)
+		f := s.ftl
+		s.inj.SetWearSource(func(die, block int) int {
+			return f.EraseCount(ftl.BlockID{Die: die, Block: block})
+		})
+		backend.FaultInjector = s.inj
+		backend.OnRetrySense = s.meter.FlashRetrySenses
 	}
 	// Per-die TRNGs, forked deterministically from the experiment seed.
 	master := xrand.New(cfg.Seed)
@@ -242,6 +275,10 @@ type Result struct {
 	AvgPowerW   float64
 	// Efficiency is throughput per watt (targets/s/W), Fig. 19's metric.
 	Efficiency float64
+
+	// Faults holds the reliability counters; nil when the fault model is
+	// disabled (so default-config reports are unchanged).
+	Faults *fault.Stats
 }
 
 // Run simulates numBatches mini-batches and returns the measurements.
@@ -257,6 +294,9 @@ func (s *System) Run(numBatches int) (*Result, error) {
 		func() { finished = true },
 	)
 	s.k.Run()
+	if s.failErr != nil {
+		return nil, s.failErr
+	}
 	if !finished {
 		return nil, fmt.Errorf("platform: %v simulation deadlocked (events drained before completion)", s.kind)
 	}
@@ -294,6 +334,10 @@ func (s *System) Run(numBatches int) (*Result, error) {
 	res.CmdP99 = s.coll.CommandHistogram().Quantile(0.99)
 	if res.AvgPowerW > 0 {
 		res.Efficiency = res.Throughput / res.AvgPowerW
+	}
+	if s.inj != nil {
+		st := s.inj.Stats()
+		res.Faults = &st
 	}
 	return res, nil
 }

@@ -140,10 +140,11 @@ func (q *eventQueue) peek() (Time, bool) { // earliest event time
 
 // Kernel is the discrete-event engine. The zero value is ready to use.
 type Kernel struct {
-	now    Time
-	seq    uint64
-	events eventQueue
-	steps  uint64
+	now     Time
+	seq     uint64
+	events  eventQueue
+	steps   uint64
+	stopped bool
 }
 
 // New returns a fresh kernel with the clock at zero.
@@ -176,9 +177,18 @@ func (k *Kernel) After(d Time, fn func()) {
 	k.At(k.now+d, fn)
 }
 
-// Run executes events until the queue is empty.
+// Stop halts the event loop: Run and RunUntil return after the current
+// event's callback. Queued events stay queued. Components use it to
+// abort a simulation on an unrecoverable device error instead of
+// panicking out of the event loop.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (k *Kernel) Stopped() bool { return k.stopped }
+
+// Run executes events until the queue is empty or Stop is called.
 func (k *Kernel) Run() {
-	for k.events.len() > 0 {
+	for k.events.len() > 0 && !k.stopped {
 		k.step()
 	}
 }
@@ -190,6 +200,9 @@ func (k *Kernel) Run() {
 func (k *Kernel) RunUntil(limit Time) bool {
 	for {
 		at, ok := k.events.peek()
+		if k.stopped {
+			return !ok
+		}
 		if !ok || at > limit {
 			if limit > k.now {
 				k.now = limit
