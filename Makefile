@@ -1,16 +1,20 @@
 GO ?= go
 FUZZTIME ?= 10s
+COVERPROFILE ?= cover.out
 
-.PHONY: build test race vet bench check fuzz-smoke
+.PHONY: build test race vet bench check cover invariants fuzz-smoke
 
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test and subtest order so hidden inter-test
+# dependencies fail loudly; the seed is printed on failure for replay
+# with -shuffle=<seed>.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 vet:
 	$(GO) vet ./...
@@ -30,5 +34,16 @@ fuzz-smoke:
 		$(GO) test ./internal/sampler/ -run=NONE -fuzz=$$t -fuzztime=$(FUZZTIME) || exit 1; \
 	done
 
+cover:
+	$(GO) test -coverprofile=$(COVERPROFILE) ./...
+	$(GO) tool cover -func=$(COVERPROFILE) | tail -1
+
+# Run the full quick evaluation under the invariant checker
+# (internal/invariant): every simulation must satisfy the conservation
+# and sanity laws or the run fails naming the broken invariant.
+invariants:
+	$(GO) run ./cmd/beaconbench -exp all -quick -check -parallel 0 > /dev/null
+	@echo "invariants: all checks passed"
+
 # Tier-1 verification: everything CI gates on.
-check: build vet test race
+check: build vet test race invariants

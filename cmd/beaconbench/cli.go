@@ -1,0 +1,89 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"beacongnn/internal/core"
+	"beacongnn/internal/platform"
+)
+
+// cliConfig is the fully parsed and validated beaconbench command line.
+type cliConfig struct {
+	exp      string
+	list     bool
+	jsonOut  bool
+	traceOut string
+	tracePlt string
+	traceDS  string
+	opts     *core.Options
+}
+
+// parseCLI parses and validates the command line. All error reporting
+// happens here (the flag package prints parse errors and usage to
+// stderr itself; validation failures are printed once) so main can
+// exit on any non-nil error without re-printing. flag.ErrHelp is
+// returned as-is for a clean -h exit.
+func parseCLI(args []string, stderr io.Writer) (*cliConfig, error) {
+	fs := flag.NewFlagSet("beaconbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		exp      = fs.String("exp", "all", "experiment id (or 'all')")
+		list     = fs.Bool("list", false, "list experiment ids and exit")
+		quick    = fs.Bool("quick", false, "reduced scales and sweeps")
+		nodes    = fs.Int("nodes", 0, "materialized nodes per dataset (0 = default)")
+		batches  = fs.Int("batches", 0, "mini-batches per simulation (0 = default)")
+		jsonOut  = fs.Bool("json", false, "emit the numeric series as JSON instead of text")
+		parallel = fs.Int("parallel", 0, "concurrent simulations (0 = all CPU cores, 1 = sequential)")
+		check    = fs.Bool("check", false, "verify run invariants on every simulation; fail with a named diagnostic")
+		traceOut = fs.String("trace", "", "write a Chrome trace_event JSON request trace to this file and exit")
+		tracePlt = fs.String("trace-platform", "BG-2", "platform to trace with -trace")
+		traceDS  = fs.String("trace-dataset", "amazon", "dataset to trace with -trace")
+	)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	fail := func(format string, a ...any) (*cliConfig, error) {
+		err := fmt.Errorf(format, a...)
+		fmt.Fprintln(stderr, "beaconbench:", err)
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		return fail("unexpected arguments %q (flags only)", fs.Args())
+	}
+	if *nodes < 0 {
+		return fail("-nodes must be non-negative (0 = default), got %d", *nodes)
+	}
+	if *batches < 0 {
+		return fail("-batches must be non-negative (0 = default), got %d", *batches)
+	}
+	if *parallel < 0 {
+		return fail("-parallel must be non-negative (0 = all CPU cores), got %d", *parallel)
+	}
+	if !*list && *exp != "all" {
+		if _, err := core.ByID(*exp); err != nil {
+			return fail("%v", err)
+		}
+	}
+	if *traceOut != "" {
+		if _, err := platform.ByName(*tracePlt); err != nil {
+			return fail("-trace-platform: %v", err)
+		}
+	}
+	return &cliConfig{
+		exp:      *exp,
+		list:     *list,
+		jsonOut:  *jsonOut,
+		traceOut: *traceOut,
+		tracePlt: *tracePlt,
+		traceDS:  *traceDS,
+		opts: &core.Options{
+			Quick:      *quick,
+			ScaleNodes: *nodes,
+			Batches:    *batches,
+			Workers:    *parallel,
+			Check:      *check,
+		},
+	}, nil
+}

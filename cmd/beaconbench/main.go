@@ -7,15 +7,22 @@
 //	beaconbench -exp fig14          # one experiment
 //	beaconbench -exp fig18 -quick   # shrunken sweep for a fast look
 //	beaconbench -exp all -parallel 8 # fan simulations over 8 workers
+//	beaconbench -exp all -quick -check # verify run invariants everywhere
 //	beaconbench -list               # available experiment ids
 //	beaconbench -trace out.json -trace-platform BG-2   # request trace
 //
 // Simulations fan out across -parallel workers (default: all CPU
 // cores); output is byte-identical for any worker count, including
 // -parallel 1 (fully sequential).
+//
+// With -check, every simulation runs under the invariant checker
+// (internal/invariant) and a broken conservation or sanity law fails
+// the run with the violated invariant's name. Results are identical to
+// an unchecked run — checking only observes.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -24,66 +31,64 @@ import (
 )
 
 func main() {
-	var (
-		exp      = flag.String("exp", "all", "experiment id (or 'all')")
-		list     = flag.Bool("list", false, "list experiment ids and exit")
-		quick    = flag.Bool("quick", false, "reduced scales and sweeps")
-		nodes    = flag.Int("nodes", 0, "materialized nodes per dataset (0 = default)")
-		batches  = flag.Int("batches", 0, "mini-batches per simulation (0 = default)")
-		jsonOut  = flag.Bool("json", false, "emit the numeric series as JSON instead of text")
-		parallel = flag.Int("parallel", 0, "concurrent simulations (0 = all CPU cores, 1 = sequential)")
-		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON request trace to this file and exit")
-		tracePlt = flag.String("trace-platform", "BG-2", "platform to trace with -trace")
-		traceDS  = flag.String("trace-dataset", "amazon", "dataset to trace with -trace")
-	)
-	flag.Parse()
+	c, err := parseCLI(os.Args[1:], os.Stderr)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		os.Exit(2) // parseCLI already reported the error
+	}
 
-	if *list {
+	if c.list {
 		for _, e := range core.AllExperiments() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
 		}
 		return
 	}
-	o := &core.Options{Quick: *quick, ScaleNodes: *nodes, Batches: *batches, Workers: *parallel}
-	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
+	o := c.opts
+	if c.traceOut != "" {
+		f, err := os.Create(c.traceOut)
 		if err == nil {
-			_, err = core.RunTrace(o, *tracePlt, *traceDS, f)
+			_, err = core.RunTrace(o, c.tracePlt, c.traceDS, f)
 			if cerr := f.Close(); err == nil {
 				err = cerr
 			}
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "beaconbench:", err)
-			os.Exit(1)
+			fatal(err)
 		}
-		fmt.Printf("request trace of %s on %s -> %s (open in https://ui.perfetto.dev)\n", *tracePlt, *traceDS, *traceOut)
+		fmt.Printf("request trace of %s on %s -> %s (open in https://ui.perfetto.dev)\n", c.tracePlt, c.traceDS, c.traceOut)
 		return
 	}
-	if *jsonOut {
+	if c.jsonOut {
 		rep, err := core.BuildReport(o)
 		if err == nil {
 			err = rep.WriteJSON(os.Stdout)
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "beaconbench:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		return
 	}
-	var err error
-	if *exp == "all" {
+	if c.exp == "all" {
 		err = core.RunAll(o, os.Stdout)
 	} else {
 		var e core.Experiment
-		e, err = core.ByID(*exp)
+		e, err = core.ByID(c.exp)
 		if err == nil {
 			fmt.Printf("===== %s — %s =====\n", e.ID, e.Title)
 			err = e.Run(o, os.Stdout)
 		}
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "beaconbench:", err)
-		os.Exit(1)
+		fatal(err)
 	}
+	if o.Check {
+		fmt.Println("\ninvariants: all checks passed")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "beaconbench:", err)
+	os.Exit(1)
 }

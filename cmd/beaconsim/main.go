@@ -10,6 +10,7 @@
 //	beaconsim -platform all -parallel 8       # every platform, 8 workers
 //	beaconsim -platform CC,BG-1,BG-2          # a comparison subset
 //	beaconsim -platform bg2 -trace out.json   # request trace for Perfetto
+//	beaconsim -platform all -check            # verify run invariants
 //
 // With a platform list (comma-separated, or "all"), the simulations fan
 // out across -parallel workers (default: all CPU cores) and the reports
@@ -21,19 +22,27 @@
 // JSON — open it at https://ui.perfetto.dev or chrome://tracing. Traced
 // simulations run sequentially so the trace is deterministic; with
 // multiple platforms their resources are namespaced "PLATFORM/...".
+//
+// With -check, every simulation runs under the invariant checker
+// (internal/invariant): conservation and sanity laws — every requested
+// page sensed exactly once modulo retry, queues drained, monotone event
+// time, energy ledger balance — are verified at run end, and a
+// violation fails the run with the broken invariant's name. Checking
+// only observes: reported numbers are identical to an unchecked run.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 	"time"
 
 	"beacongnn/internal/config"
 	"beacongnn/internal/dataset"
 	"beacongnn/internal/exp"
+	"beacongnn/internal/invariant"
 	"beacongnn/internal/metrics"
 	"beacongnn/internal/platform"
 	"beacongnn/internal/sim"
@@ -41,81 +50,17 @@ import (
 )
 
 func main() {
-	var (
-		plat     = flag.String("platform", "BG-2", "platform(s): CC, SmartSage, GList, BG-1, BG-DG, BG-SP, BG-DGSP, BG-2 — comma-separated, or 'all'")
-		ds       = flag.String("dataset", "amazon", "dataset: reddit, amazon, movielens, OGBN, PPI")
-		nodes    = flag.Int("nodes", 10000, "materialized graph nodes")
-		batches  = flag.Int("batches", 6, "mini-batches to simulate")
-		batch    = flag.Int("batch", 0, "mini-batch size (0 = paper default 64)")
-		readLat  = flag.Duration("read-latency", 0, "flash read latency override (e.g. 20us; 0 = ULL 3µs)")
-		chans    = flag.Int("channels", 0, "flash channel count override")
-		dies     = flag.Int("dies", 0, "dies per channel override")
-		cores    = flag.Int("cores", 0, "firmware core count override")
-		seed     = flag.Uint64("seed", 0, "experiment seed override")
-		parallel = flag.Int("parallel", 0, "concurrent simulations for platform lists (0 = all CPU cores)")
-		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON request trace to this file")
-
-		faults    = flag.Bool("faults", false, "enable the NAND reliability model (fault injection, read-retry, recovery)")
-		faultRBER = flag.Float64("fault-rber", 0, "base raw bit error rate override (0 = default)")
-		faultPE   = flag.Int("fault-pe", 0, "initial P/E cycle count on every block (wear)")
-		deadDies  = flag.String("fault-dead-dies", "", "comma-separated global die indices to inject as failed")
-		deadChans = flag.String("fault-dead-channels", "", "comma-separated channel indices to inject as failed")
-	)
-	flag.Parse()
-
-	cfg := config.Default()
-	if *batch > 0 {
-		cfg.GNN.BatchSize = *batch
-	}
-	if *readLat > 0 {
-		cfg.Flash.ReadLatency = sim.Duration(*readLat)
-	}
-	if *chans > 0 {
-		cfg.Flash.Channels = *chans
-	}
-	if *dies > 0 {
-		cfg.Flash.DiesPerChannel = *dies
-	}
-	if *cores > 0 {
-		cfg.Firmware.Cores = *cores
-	}
-	if *seed != 0 {
-		cfg.Seed = *seed
-	}
-	if *faults || *faultRBER > 0 || *faultPE > 0 || *deadDies != "" || *deadChans != "" {
-		cfg.Fault.Enabled = true
-		if *faultRBER > 0 {
-			cfg.Fault.BaseRBER = *faultRBER
-		}
-		if *faultPE > 0 {
-			cfg.Fault.InitialPECycles = *faultPE
-		}
-		dd, err := parseInts(*deadDies)
-		if err != nil {
-			fatal(fmt.Errorf("-fault-dead-dies: %w", err))
-		}
-		cfg.Fault.DeadDies = dd
-		dc, err := parseInts(*deadChans)
-		if err != nil {
-			fatal(fmt.Errorf("-fault-dead-channels: %w", err))
-		}
-		cfg.Fault.DeadChannels = dc
-		if err := cfg.Validate(); err != nil {
-			fatal(err)
-		}
-	}
-
-	kinds, err := parsePlatforms(*plat)
+	c, err := parseCLI(os.Args[1:], os.Stderr)
 	if err != nil {
-		fatal(err)
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		os.Exit(2) // parseCLI already reported the error
 	}
-	d, err := dataset.ByName(*ds)
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Printf("materializing %s at %d nodes...\n", d.Name, *nodes)
+
+	fmt.Printf("materializing %s at %d nodes...\n", c.dataset.Name, c.nodes)
 	start := time.Now()
-	inst, err := dataset.Materialize(d, *nodes, cfg.Flash.PageSize, cfg.Seed)
+	inst, err := dataset.Materialize(c.dataset, c.nodes, c.cfg.Flash.PageSize, c.cfg.Seed)
 	if err != nil {
 		fatal(err)
 	}
@@ -124,14 +69,17 @@ func main() {
 		inst.Build.Stats.PrimaryPages, inst.Build.Stats.SecondaryPages,
 		inst.Build.Stats.InflationRatio()*100, time.Since(start).Round(time.Millisecond))
 
-	eng := exp.New(*parallel)
+	eng := exp.New(c.parallel)
+	if c.check {
+		eng.EnableChecks()
+	}
 	start = time.Now()
 	var results []*platform.Result
-	if *traceOut != "" {
-		results, err = runTraced(kinds, cfg, inst, *batches, *traceOut)
+	if c.traceOut != "" {
+		results, err = runTraced(c.kinds, c.cfg, inst, c.batches, c.traceOut, c.check)
 	} else {
-		results, err = exp.Map(kinds, func(k platform.Kind) (*platform.Result, error) {
-			return eng.Simulate(k, cfg, inst, *batches, 1024)
+		results, err = exp.Map(c.kinds, func(k platform.Kind) (*platform.Result, error) {
+			return eng.Simulate(k, c.cfg, inst, c.batches, 1024)
 		})
 	}
 	if err != nil {
@@ -139,22 +87,28 @@ func main() {
 	}
 	wall := time.Since(start).Round(time.Millisecond)
 	for _, res := range results {
-		report(res, cfg, wall)
+		report(res, c.cfg, wall)
 	}
-	if len(kinds) > 1 && *traceOut == "" {
-		fmt.Printf("\n%d simulations in %v wall on %d workers\n", len(kinds), wall, eng.Workers())
+	if c.check {
+		fmt.Printf("\ninvariants: all checks passed on %d simulation(s)\n", len(results))
+	}
+	if len(c.kinds) > 1 && c.traceOut == "" {
+		fmt.Printf("\n%d simulations in %v wall on %d workers\n", len(c.kinds), wall, eng.Workers())
 	}
 }
 
 // runTraced runs the platforms sequentially with a shared request
 // recorder attached and writes the combined Chrome trace to path.
-func runTraced(kinds []platform.Kind, cfg config.Config, inst *dataset.Instance, batches int, path string) ([]*platform.Result, error) {
+func runTraced(kinds []platform.Kind, cfg config.Config, inst *dataset.Instance, batches int, path string, check bool) ([]*platform.Result, error) {
 	rec := trace.NewRecorder()
 	results := make([]*platform.Result, 0, len(kinds))
 	for _, k := range kinds {
 		s, err := platform.NewSystem(k, cfg, inst, 1024)
 		if err != nil {
 			return nil, err
+		}
+		if check {
+			s.EnableChecks(invariant.New())
 		}
 		var tr sim.Tracer = rec
 		if len(kinds) > 1 {
@@ -181,41 +135,6 @@ func runTraced(kinds []platform.Kind, cfg config.Config, inst *dataset.Instance,
 	fmt.Printf("\nrequest trace: %d spans -> %s (open in https://ui.perfetto.dev)\n", len(rec.Spans()), path)
 	fmt.Print(rec.BreakdownTable())
 	return results, nil
-}
-
-// parseInts parses a comma-separated integer list ("" → nil).
-func parseInts(s string) ([]int, error) {
-	if strings.TrimSpace(s) == "" {
-		return nil, nil
-	}
-	var out []int
-	for _, part := range strings.Split(s, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil {
-			return nil, fmt.Errorf("bad index %q", part)
-		}
-		out = append(out, n)
-	}
-	return out, nil
-}
-
-// parsePlatforms expands "all" or a comma-separated platform list.
-func parsePlatforms(s string) ([]platform.Kind, error) {
-	if strings.EqualFold(s, "all") {
-		return platform.All(), nil
-	}
-	var kinds []platform.Kind
-	for _, name := range strings.Split(s, ",") {
-		k, err := platform.ByName(strings.TrimSpace(name))
-		if err != nil {
-			return nil, err
-		}
-		kinds = append(kinds, k)
-	}
-	if len(kinds) == 0 {
-		return nil, fmt.Errorf("beaconsim: no platforms given")
-	}
-	return kinds, nil
 }
 
 func report(res *platform.Result, cfg config.Config, wall time.Duration) {

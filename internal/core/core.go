@@ -26,6 +26,7 @@ type Options struct {
 	Batches    int  // mini-batches per simulation
 	Quick      bool // shrink sweeps for CI-speed runs
 	Workers    int  // concurrent simulations (0 = GOMAXPROCS, 1 = sequential)
+	Check      bool // verify run invariants on every simulation (-check)
 	filled     bool
 	eng        *exp.Engine
 }
@@ -50,6 +51,9 @@ func (o *Options) fill() {
 		o.Batches = 3
 	}
 	o.eng = exp.New(o.Workers)
+	if o.Check {
+		o.eng.EnableChecks()
+	}
 	o.filled = true
 }
 

@@ -52,6 +52,10 @@ func (d *DRAM) Read(n int, done func()) {
 // Traffic returns (bytesRead, bytesWritten).
 func (d *DRAM) Traffic() (uint64, uint64) { return d.reads, d.writes }
 
+// Occupancy reports (in-service, queued) transfers on the port — both
+// zero once a run has drained.
+func (d *DRAM) Occupancy() (busy, queued int) { return d.pipe.Occupancy() }
+
 // SetUtilization attaches a utilization tracker to the port.
 func (d *DRAM) SetUtilization(u *sim.Utilization) { d.pipe.SetUtilization(u) }
 

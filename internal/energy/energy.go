@@ -37,6 +37,12 @@ const (
 type Meter struct {
 	cfg    config.Energy
 	joules map[Component]float64
+
+	// OnAdd, when set, observes every deposit before it lands in a
+	// bucket. The invariant checker uses it to keep a shadow ledger and
+	// prove the reported total equals the sum of per-event charges. Nil
+	// (the default) costs one pointer check per deposit.
+	OnAdd func(c Component, j float64)
 }
 
 // NewMeter returns a meter using the given constants.
@@ -45,7 +51,12 @@ func NewMeter(cfg config.Energy) *Meter {
 }
 
 // Add deposits j joules into the component bucket.
-func (m *Meter) Add(c Component, j float64) { m.joules[c] += j }
+func (m *Meter) Add(c Component, j float64) {
+	if m.OnAdd != nil {
+		m.OnAdd(c, j)
+	}
+	m.joules[c] += j
+}
 
 // Convenience depositors translating events into joules.
 
@@ -89,11 +100,25 @@ func (m *Meter) FinishStatic(elapsed sim.Time) {
 	m.Add(Static, elapsed.Seconds()*m.cfg.StaticWatts)
 }
 
+// sortedComponents returns the occupied buckets in lexicographic order.
+// Every aggregation below iterates this order, never the map directly:
+// float addition is not associative, so summing in Go's randomized map
+// order would make totals (and every fraction derived from them) differ
+// at the last ulp from run to run.
+func (m *Meter) sortedComponents() []Component {
+	out := make([]Component, 0, len(m.joules))
+	for c := range m.joules {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // Total returns the summed energy in joules.
 func (m *Meter) Total() float64 {
 	t := 0.0
-	for _, j := range m.joules {
-		t += j
+	for _, c := range m.sortedComponents() {
+		t += m.joules[c]
 	}
 	return t
 }
@@ -145,8 +170,8 @@ func (m *Meter) GroupFractions() map[string]float64 {
 	if total == 0 {
 		return out
 	}
-	for c, j := range m.joules {
-		out[groups[c]] += j / total
+	for _, c := range m.sortedComponents() {
+		out[groups[c]] += m.joules[c] / total
 	}
 	return out
 }

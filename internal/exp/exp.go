@@ -70,6 +70,14 @@ func New(workers int) *Engine {
 // Workers returns the configured parallel width.
 func (e *Engine) Workers() int { return cap(e.sem) }
 
+// EnableChecks routes every subsequent simulation through the invariant
+// checker (platform.SimulateChecked): each leaf run is verified against
+// the conservation and sanity invariants and fails with a
+// named-invariant diagnostic if any breaks. Checked results are
+// identical to unchecked ones — checking only observes — so the memo
+// key is unchanged. Call before the first Simulate.
+func (e *Engine) EnableChecks() { e.simFn = platform.SimulateChecked }
+
 // Stats returns the number of simulations executed and the number served
 // from the memo cache.
 func (e *Engine) Stats() (runs, hits uint64) {

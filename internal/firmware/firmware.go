@@ -48,6 +48,10 @@ func (p *Processor) BusyTime() sim.Time { return p.busy }
 // QueueLen returns requests waiting for a core.
 func (p *Processor) QueueLen() int { return p.cores.QueueLen() }
 
+// Occupancy reports (ops in service, ops queued) on the core pool —
+// both zero once a run has drained.
+func (p *Processor) Occupancy() (busy, queued int) { return p.cores.Busy(), p.cores.QueueLen() }
+
 // Do occupies one core for cost, then runs done.
 func (p *Processor) Do(cost sim.Time, done func()) {
 	p.busy += cost

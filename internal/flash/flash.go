@@ -132,6 +132,25 @@ func (b *Backend) SetTracer(t sim.Tracer) {
 	}
 }
 
+// Occupancy reports in-service and queued request counts summed over all
+// dies, per-die samplers, and channel buses. Both are zero once a run
+// has drained; the invariant checker polls this at completion.
+func (b *Backend) Occupancy() (busy, queued int) {
+	for _, s := range b.dies {
+		busy += s.Busy()
+		queued += s.QueueLen()
+	}
+	for _, s := range b.samplers {
+		busy += s.Busy()
+		queued += s.QueueLen()
+	}
+	for _, s := range b.channels {
+		busy += s.Busy()
+		queued += s.QueueLen()
+	}
+	return busy, queued
+}
+
 // Geometry returns the page-to-die mapping.
 func (b *Backend) Geometry() Geometry { return b.geom }
 

@@ -145,3 +145,11 @@ func (q *QueuePair) Complete(done func()) {
 func (q *QueuePair) Stats() (uint64, uint64, int) {
 	return q.submitted, q.completed, q.inFlight
 }
+
+// Occupancy reports outstanding work on the host interface: link
+// transfers in service or queued, plus queue-pair commands still in
+// flight — all zero once a run has drained.
+func (q *QueuePair) Occupancy() (busy, queued int) {
+	busy, queued = q.pcie.Occupancy()
+	return busy, queued + q.inFlight
+}

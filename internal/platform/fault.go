@@ -42,10 +42,18 @@ func (s *System) resolvePage(p uint32) uint32 {
 // page-bytes lookup and the channel transfer. With no injector the event
 // sequence is identical to backend.ReadPage.
 func (s *System) senseManaged(page uint32, dieExtra sim.Time, senseStart func(sim.Time), done func(final uint32)) {
+	if s.chk != nil {
+		s.chk.CountSenseRequest()
+	}
 	s.senseAttempt(page, dieExtra, senseStart, done, 0, 0)
 }
 
 func (s *System) senseAttempt(page uint32, dieExtra sim.Time, senseStart func(sim.Time), done func(final uint32), attempt int, deadline sim.Time) {
+	if s.chk != nil && attempt > 0 {
+		// A retry re-sense: accounted on the recovery side of the
+		// flash.conservation ledger.
+		s.chk.CountRecoverySense()
+	}
 	rp := s.resolvePage(page)
 	s.backend.SensePage(rp, dieExtra, senseStart, func(out fault.Outcome) {
 		switch out.Class {
@@ -81,6 +89,9 @@ func (s *System) senseAttempt(page uint32, dieExtra sim.Time, senseStart func(si
 			// one final sense completes the command as a degraded read.
 			s.inj.NoteDegraded()
 			s.coll.AddPhase(metrics.PhaseECC, out.ExtraDieTime)
+			if s.chk != nil {
+				s.chk.CountRecoverySense()
+			}
 			final := s.resolvePage(page)
 			s.backend.SensePage(final, dieExtra, senseStart, func(fault.Outcome) {
 				done(s.resolvePage(page))

@@ -14,6 +14,7 @@ import (
 	"beacongnn/internal/flash"
 	"beacongnn/internal/ftl"
 	"beacongnn/internal/graph"
+	"beacongnn/internal/invariant"
 	"beacongnn/internal/metrics"
 	"beacongnn/internal/nvme"
 	"beacongnn/internal/router"
@@ -59,6 +60,10 @@ type System struct {
 	failErr    error // first unrecoverable device error; set via fail()
 	retireWear int   // wear-caused retirements since the last relocation
 
+	// chk is the invariant checker; nil unless EnableChecks was called.
+	// Checking only observes: a checked run's results are identical.
+	chk *invariant.Checker
+
 	// targetSource, when set, overrides mini-batch target selection —
 	// used for trace replay (internal/trace).
 	targetSource func(batch int) []graph.NodeID
@@ -83,8 +88,12 @@ func (s *System) SetTargetSource(f func(batch int) []graph.NodeID) { s.targetSou
 // SetTracer attaches a request tracer to every contended resource in the
 // system: flash dies/samplers/channels, firmware cores, the DRAM port,
 // the PCIe link, host CPU cores, and the accelerator queue. Must be
-// called before Run; pass nil to detach.
+// called before Run; pass nil to detach. With checks enabled the
+// checker stays attached, teed with t.
 func (s *System) SetTracer(t sim.Tracer) {
+	if s.chk != nil {
+		t = sim.TeeTracer(s.chk, t)
+	}
 	s.backend.SetTracer(t)
 	s.fw.SetTracer(t)
 	s.mem.SetTracer(t)
@@ -338,6 +347,11 @@ func (s *System) Run(numBatches int) (*Result, error) {
 	if s.inj != nil {
 		st := s.inj.Stats()
 		res.Faults = &st
+	}
+	if s.chk != nil {
+		if err := s.runChecks(res); err != nil {
+			return nil, err
+		}
 	}
 	return res, nil
 }

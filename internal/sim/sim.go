@@ -145,6 +145,7 @@ type Kernel struct {
 	events  eventQueue
 	steps   uint64
 	stopped bool
+	probe   func(at Time)
 }
 
 // New returns a fresh kernel with the clock at zero.
@@ -176,6 +177,13 @@ func (k *Kernel) After(d Time, fn func()) {
 	}
 	k.At(k.now+d, fn)
 }
+
+// SetProbe installs a per-event observer: it runs before each event's
+// callback with the event's scheduled time. The invariant checker uses
+// it to verify the clock never moves backwards. A nil probe (the
+// default) costs a single pointer check per event and no allocations,
+// keeping the hot loop identical to an unobserved kernel.
+func (k *Kernel) SetProbe(p func(at Time)) { k.probe = p }
 
 // Stop halts the event loop: Run and RunUntil return after the current
 // event's callback. Queued events stay queued. Components use it to
@@ -217,6 +225,9 @@ func (k *Kernel) step() {
 	e := k.events.pop()
 	k.now = e.at
 	k.steps++
+	if k.probe != nil {
+		k.probe(e.at)
+	}
 	e.fn()
 }
 
@@ -228,6 +239,28 @@ func (k *Kernel) step() {
 // single pointer check per completion and adds no allocations.
 type Tracer interface {
 	ServerSpan(resource string, lane int, arrived, start, end Time)
+}
+
+// teeTracer fans one span out to two tracers, letting a request recorder
+// and the invariant checker observe the same resources simultaneously.
+type teeTracer struct{ a, b Tracer }
+
+func (t teeTracer) ServerSpan(resource string, lane int, arrived, start, end Time) {
+	t.a.ServerSpan(resource, lane, arrived, start, end)
+	t.b.ServerSpan(resource, lane, arrived, start, end)
+}
+
+// TeeTracer returns a tracer delivering every span to both arguments.
+// A nil argument collapses to the other, so callers can compose
+// optional tracers without nil checks.
+func TeeTracer(a, b Tracer) Tracer {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return teeTracer{a: a, b: b}
 }
 
 // Server is an N-way FIFO service center: up to Width requests are in
@@ -416,6 +449,10 @@ func (p *Pipe) Transfer(n int, done func()) {
 
 // BytesMoved returns the total bytes accepted by the pipe.
 func (p *Pipe) BytesMoved() uint64 { return p.moved }
+
+// Occupancy reports (in-service, queued) transfers on the pipe — both
+// zero once a run has drained.
+func (p *Pipe) Occupancy() (busy, queued int) { return p.srv.Busy(), p.srv.QueueLen() }
 
 // Bandwidth returns the pipe bandwidth in bytes per second.
 func (p *Pipe) Bandwidth() float64 { return p.bytesPerSec }
