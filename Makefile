@@ -1,8 +1,11 @@
 GO ?= go
 FUZZTIME ?= 10s
 COVERPROFILE ?= cover.out
+BENCHCOUNT ?= 5
+BENCHOUT ?= bench.out
 
-.PHONY: build test race vet bench check cover invariants fuzz-smoke
+.PHONY: build test race vet bench check cover invariants fuzz-smoke \
+	lint bench-run bench-gate bench-baseline smoke
 
 build:
 	$(GO) build ./...
@@ -44,6 +47,46 @@ cover:
 invariants:
 	$(GO) run ./cmd/beaconbench -exp all -quick -check -parallel 0 > /dev/null
 	@echo "invariants: all checks passed"
+
+# Static analysis. go vet always runs; staticcheck and govulncheck run
+# only when present on PATH (CI installs them; local machines without
+# them still get a useful, non-failing lint pass).
+lint:
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo "== staticcheck"; staticcheck ./... || exit 1; \
+	else \
+		echo "lint: staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		echo "== govulncheck"; govulncheck ./... || exit 1; \
+	else \
+		echo "lint: govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
+
+# Record the gated benchmarks (medians over BENCHCOUNT runs) into
+# $(BENCHOUT). The gated set lives in BENCH_BASELINE.json; RunAllParallel
+# uses -benchtime=1x because one iteration already runs every experiment.
+bench-run:
+	$(GO) test -run='^$$' -bench='BenchmarkEventKernel|BenchmarkKernelDeep|BenchmarkServer$$|BenchmarkServerTraced' \
+		-benchmem -benchtime=0.5s -count=$(BENCHCOUNT) ./internal/sim/ | tee $(BENCHOUT)
+	$(GO) test -run='^$$' -bench='BenchmarkRunAllParallel' \
+		-benchmem -benchtime=1x -count=$(BENCHCOUNT) . | tee -a $(BENCHOUT)
+
+# Benchmark-regression gate: fail if median ns/op or allocs/op regresses
+# past the tolerances documented in BENCH_BASELINE.json.
+bench-gate: bench-run
+	$(GO) run ./cmd/benchgate -baseline BENCH_BASELINE.json $(BENCHOUT)
+
+# Re-record the baseline after an intentional perf change; commit the
+# resulting BENCH_BASELINE.json in the same PR.
+bench-baseline: bench-run
+	$(GO) run ./cmd/benchgate -baseline BENCH_BASELINE.json -update $(BENCHOUT)
+
+# End-to-end beaconserved smoke: build, start, exercise the HTTP API,
+# SIGTERM, assert a clean drain. See ci/smoke_beaconserved.sh.
+smoke:
+	./ci/smoke_beaconserved.sh
 
 # Tier-1 verification: everything CI gates on.
 check: build vet test race invariants

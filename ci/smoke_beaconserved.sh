@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for beaconserved: build the daemon, start it,
+# drive the HTTP API (healthz, simulate twice to prove a cache hit,
+# metrics), then SIGTERM it and assert a clean exit 0 drain.
+#
+# Run from the repo root: ./ci/smoke_beaconserved.sh
+# Needs: go, curl. Picks a free loopback port to avoid collisions.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+ADDR="127.0.0.1:18473"
+LOG="$(mktemp /tmp/beaconserved.smoke.XXXXXX.log)"
+BIN="$(mktemp -d)/beaconserved"
+PID=""
+
+cleanup() {
+    if [[ -n "$PID" ]] && kill -0 "$PID" 2>/dev/null; then
+        kill -9 "$PID" 2>/dev/null || true
+    fi
+    rm -f "$BIN"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "smoke: FAIL: $*" >&2
+    echo "---- daemon log ----" >&2
+    cat "$LOG" >&2 || true
+    exit 1
+}
+
+echo "== build"
+go build -o "$BIN" ./cmd/beaconserved
+
+echo "== start on $ADDR"
+"$BIN" -addr "$ADDR" -workers 2 -timeout 60s >"$LOG" 2>&1 &
+PID=$!
+
+# Wait for the listener (up to ~10 s).
+for i in $(seq 1 100); do
+    if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    kill -0 "$PID" 2>/dev/null || fail "daemon exited during startup"
+    sleep 0.1
+done
+curl -fsS "http://$ADDR/healthz" >/dev/null || fail "healthz never came up"
+
+echo "== healthz"
+HEALTH="$(curl -fsS "http://$ADDR/healthz")"
+echo "$HEALTH" | grep -q '"status": *"ok"' || fail "healthz not ok: $HEALTH"
+
+echo "== simulate (cold)"
+BODY='{"platform":"BG-2","dataset":"amazon","nodes":2000,"batches":2}'
+CODE="$(curl -sS -o /tmp/smoke_sim1.json -w '%{http_code}' \
+    -H 'Content-Type: application/json' -d "$BODY" "http://$ADDR/v1/simulate")"
+[[ "$CODE" == "200" ]] || fail "simulate returned $CODE: $(cat /tmp/smoke_sim1.json)"
+grep -q '"platform": *"BG-2"' /tmp/smoke_sim1.json || fail "simulate response malformed"
+grep -q '"Throughput"' /tmp/smoke_sim1.json || fail "simulate response missing result payload"
+
+echo "== simulate (cache hit)"
+HDRS="$(curl -sS -D - -o /tmp/smoke_sim2.json \
+    -H 'Content-Type: application/json' -d "$BODY" "http://$ADDR/v1/simulate")"
+echo "$HDRS" | grep -qi '^X-Cache: *hit' || fail "repeat request was not a cache hit"
+# Determinism: identical config must yield an identical result payload.
+cmp -s <(grep -o '"result":.*' /tmp/smoke_sim1.json) \
+       <(grep -o '"result":.*' /tmp/smoke_sim2.json) \
+    || fail "cached result differs from cold result"
+
+echo "== bad request is a 400, not a 5xx"
+CODE="$(curl -sS -o /dev/null -w '%{http_code}' \
+    -H 'Content-Type: application/json' -d '{"platform":"nope"}' "http://$ADDR/v1/simulate")"
+[[ "$CODE" == "400" ]] || fail "bad platform returned $CODE, want 400"
+
+echo "== metrics"
+METRICS="$(curl -fsS "http://$ADDR/metrics")"
+echo "$METRICS" | grep -q '^beaconserved_sim_runs_total 1$' || fail "expected exactly 1 sim run in metrics"
+echo "$METRICS" | grep -q '^beaconserved_sim_memo_hits_total 1$' || fail "expected exactly 1 memo hit in metrics"
+echo "$METRICS" | grep -q 'beaconserved_responses_total{code="200"}' || fail "missing 200 response counter"
+
+echo "== SIGTERM drain"
+kill -TERM "$PID"
+WAITED=0
+while kill -0 "$PID" 2>/dev/null; do
+    sleep 0.1
+    WAITED=$((WAITED + 1))
+    [[ "$WAITED" -lt 150 ]] || fail "daemon did not exit within 15s of SIGTERM"
+done
+set +e
+wait "$PID"
+EXIT=$?
+set -e
+[[ "$EXIT" == "0" ]] || fail "daemon exited $EXIT, want 0"
+grep -q "drained cleanly" "$LOG" || fail "log missing clean-drain line"
+
+echo "smoke: PASS"

@@ -1,0 +1,112 @@
+// Command beaconserved serves platform simulations and paper
+// experiments over HTTP: the simulation-as-a-service front end of this
+// repository. Where beaconsim and beaconbench are one-shot batch tools,
+// beaconserved is a long-lived daemon with a bounded worker pool, an
+// LRU result cache, admission control, per-request deadlines, and a
+// Prometheus metrics endpoint.
+//
+// Usage:
+//
+//	beaconserved                              # listen on :8080
+//	beaconserved -addr 127.0.0.1:9090 -workers 8 -queue-depth 32
+//	beaconserved -pprof                       # expose /debug/pprof/
+//
+// Endpoints:
+//
+//	POST /v1/simulate     run (or fetch from cache) one simulation
+//	POST /v1/experiment   reproduce one paper table/figure
+//	GET  /v1/experiments  list experiment ids
+//	GET  /healthz         liveness + drain state
+//	GET  /metrics         Prometheus text exposition
+//
+// On SIGTERM/SIGINT the daemon drains: /healthz flips to 503, new work
+// is refused, in-flight requests finish (bounded by -drain-timeout),
+// and the process exits 0 on a clean drain, 1 otherwise.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"beacongnn/internal/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("beaconserved", flag.ContinueOnError)
+	var (
+		addr         = fs.String("addr", ":8080", "listen address")
+		workers      = fs.Int("workers", 0, "concurrent simulations (0 = all CPU cores)")
+		queueDepth   = fs.Int("queue-depth", 0, "admitted request cap before 429 shedding (0 = 4x workers)")
+		cacheResults = fs.Int("cache-results", 0, "LRU cap on memoized simulation results (0 = 512)")
+		cacheInsts   = fs.Int("cache-instances", 0, "LRU cap on materialized dataset instances (0 = 8)")
+		timeout      = fs.Duration("timeout", 0, "default per-request deadline (0 = 120s)")
+		maxTimeout   = fs.Duration("max-timeout", 0, "ceiling on client-requested deadlines (0 = 10m)")
+		maxNodes     = fs.Int("max-nodes", 0, "largest materialized graph a request may ask for (0 = 200000)")
+		check        = fs.Bool("check", false, "verify run invariants on every simulation")
+		pprofOn      = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on shutdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	logger := log.New(os.Stderr, "beaconserved: ", log.LstdFlags)
+
+	srv := serve.New(serve.Config{
+		Workers:        *workers,
+		QueueDepth:     *queueDepth,
+		CacheResults:   *cacheResults,
+		CacheInstances: *cacheInsts,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		MaxNodes:       *maxNodes,
+		Check:          *check,
+		EnablePprof:    *pprofOn,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s", *addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		logger.Printf("listen failed: %v", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	logger.Printf("signal received; draining (timeout %v)", *drainTimeout)
+	srv.BeginDrain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		logger.Printf("drain incomplete: %v", err)
+		return 1
+	}
+	runs, hits := srv.Engine().Stats()
+	logger.Printf("drained cleanly (%d simulations run, %d memo hits); bye", runs, hits)
+	return 0
+}

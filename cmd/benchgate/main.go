@@ -1,0 +1,275 @@
+// Command benchgate is the CI benchmark-regression gate: it parses
+// `go test -bench` output (with -count=N for medians), compares median
+// ns/op and allocs/op against the checked-in BENCH_BASELINE.json, and
+// exits non-zero when any gated benchmark regresses past the baseline's
+// documented tolerances.
+//
+// Usage:
+//
+//	go test -run='^$' -bench=... -benchmem -count=5 ./... | tee bench.out
+//	benchgate -baseline BENCH_BASELINE.json bench.out      # gate
+//	benchgate -baseline BENCH_BASELINE.json -update bench.out  # re-baseline
+//
+// Policy (also documented in the baseline file itself):
+//
+//   - ns/op is gated with a deliberately loose tolerance (default 50 %)
+//     because CI machines differ from the machine that recorded the
+//     baseline; the gate catches step-change regressions (an O(n) loop
+//     becoming O(n²), a lost fast path), not single-digit noise.
+//   - allocs/op is gated tightly (default 5 % + 1) because allocation
+//     counts are deterministic: any growth is a real code change.
+//   - A gated benchmark missing from the measurement fails the gate —
+//     a renamed or deleted benchmark must update the baseline in the
+//     same PR, never silently drop out of coverage.
+//
+// When a regression is intentional, run with -update and commit the new
+// BENCH_BASELINE.json in the same PR, explaining the change.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the BENCH_BASELINE.json schema.
+type Baseline struct {
+	Comment         string                `json:"comment"`
+	NsTolerance     float64               `json:"ns_tolerance"`     // fractional, e.g. 0.5 = +50 %
+	AllocsTolerance float64               `json:"allocs_tolerance"` // fractional, e.g. 0.05 = +5 % (+1 abs)
+	Benchmarks      map[string]*Baseline1 `json:"benchmarks"`
+}
+
+// Baseline1 is one gated benchmark's recorded medians.
+type Baseline1 struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// sample is one parsed benchmark line.
+type sample struct {
+	ns     float64
+	allocs float64
+	hasAll bool
+}
+
+// benchLine matches `BenchmarkName-8   120  98765 ns/op  12 B/op  3 allocs/op`
+// (benchmem fields optional, extra custom metrics ignored).
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:.*?\s([0-9]+) allocs/op)?`)
+
+// parse reads go-test bench output, keying each benchmark as
+// "<pkg> <name>" using the `pkg:` section headers, so same-named
+// benchmarks in different packages never collide.
+func parse(r io.Reader) (map[string][]sample, error) {
+	out := make(map[string][]sample)
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %v", line, err)
+		}
+		s := sample{ns: ns}
+		if m[3] != "" {
+			allocs, err := strconv.ParseFloat(m[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad allocs/op in %q: %v", line, err)
+			}
+			s.allocs = allocs
+			s.hasAll = true
+		}
+		key := pkg + " " + m[1]
+		out[key] = append(out[key], s)
+	}
+	return out, sc.Err()
+}
+
+// median of a float slice (mean of the middle pair for even lengths).
+func median(xs []float64) float64 {
+	sort.Float64s(xs)
+	n := len(xs)
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2
+}
+
+// medians collapses samples to per-benchmark medians.
+func medians(samples map[string][]sample) map[string]Baseline1 {
+	out := make(map[string]Baseline1, len(samples))
+	for key, ss := range samples {
+		ns := make([]float64, 0, len(ss))
+		allocs := make([]float64, 0, len(ss))
+		for _, s := range ss {
+			ns = append(ns, s.ns)
+			if s.hasAll {
+				allocs = append(allocs, s.allocs)
+			}
+		}
+		m := Baseline1{NsPerOp: median(ns)}
+		if len(allocs) > 0 {
+			m.AllocsPerOp = median(allocs)
+		}
+		out[key] = m
+	}
+	return out
+}
+
+// gate compares measurements against the baseline and returns the list
+// of failures (empty = pass) plus a human-readable report of every
+// gated benchmark.
+func gate(b *Baseline, measured map[string]Baseline1) (failures []string, report string) {
+	nsTol := b.NsTolerance
+	if nsTol <= 0 {
+		nsTol = 0.5
+	}
+	allocsTol := b.AllocsTolerance
+	if allocsTol <= 0 {
+		allocsTol = 0.05
+	}
+	keys := make([]string, 0, len(b.Benchmarks))
+	for k := range b.Benchmarks {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var rep strings.Builder
+	fmt.Fprintf(&rep, "%-60s %14s %14s %12s %12s\n", "benchmark", "base ns/op", "ns/op", "base allocs", "allocs")
+	for _, key := range keys {
+		base := b.Benchmarks[key]
+		got, ok := measured[key]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: gated benchmark missing from measurement (renamed? update BENCH_BASELINE.json)", key))
+			continue
+		}
+		fmt.Fprintf(&rep, "%-60s %14.1f %14.1f %12.1f %12.1f\n", key, base.NsPerOp, got.NsPerOp, base.AllocsPerOp, got.AllocsPerOp)
+		if limit := base.NsPerOp * (1 + nsTol); got.NsPerOp > limit {
+			failures = append(failures, fmt.Sprintf("%s: ns/op %.1f exceeds baseline %.1f by more than %.0f%% (limit %.1f)",
+				key, got.NsPerOp, base.NsPerOp, nsTol*100, limit))
+		}
+		if limit := base.AllocsPerOp*(1+allocsTol) + 1; got.AllocsPerOp > limit {
+			failures = append(failures, fmt.Sprintf("%s: allocs/op %.1f exceeds baseline %.1f (+%.0f%% +1 limit %.1f)",
+				key, got.AllocsPerOp, base.AllocsPerOp, allocsTol*100, limit))
+		}
+	}
+	return failures, rep.String()
+}
+
+// update rewrites the baseline's gated entries from the measurement,
+// keeping tolerances and the gated set unchanged. A gated benchmark
+// missing from the measurement is an error.
+func update(b *Baseline, measured map[string]Baseline1) error {
+	for key := range b.Benchmarks {
+		got, ok := measured[key]
+		if !ok {
+			return fmt.Errorf("%s: gated benchmark missing from measurement", key)
+		}
+		b.Benchmarks[key] = &Baseline1{NsPerOp: got.NsPerOp, AllocsPerOp: got.AllocsPerOp}
+	}
+	return nil
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		baselinePath = fs.String("baseline", "BENCH_BASELINE.json", "baseline file to gate against")
+		doUpdate     = fs.Bool("update", false, "rewrite the baseline's medians from this measurement instead of gating")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchgate:", err)
+		return 2
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(stderr, "benchgate: %s: %v\n", *baselinePath, err)
+		return 2
+	}
+	samples := make(map[string][]sample)
+	readInto := func(r io.Reader) error {
+		part, err := parse(r)
+		if err != nil {
+			return err
+		}
+		for k, v := range part {
+			samples[k] = append(samples[k], v...)
+		}
+		return nil
+	}
+	if fs.NArg() == 0 {
+		err = readInto(stdin)
+	} else {
+		for _, path := range fs.Args() {
+			f, ferr := os.Open(path)
+			if ferr != nil {
+				err = ferr
+				break
+			}
+			err = readInto(f)
+			f.Close()
+			if err != nil {
+				break
+			}
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "benchgate:", err)
+		return 2
+	}
+	measured := medians(samples)
+
+	if *doUpdate {
+		if err := update(&base, measured); err != nil {
+			fmt.Fprintln(stderr, "benchgate:", err)
+			return 2
+		}
+		out, err := json.MarshalIndent(&base, "", "  ")
+		if err != nil {
+			fmt.Fprintln(stderr, "benchgate:", err)
+			return 2
+		}
+		if err := os.WriteFile(*baselinePath, append(out, '\n'), 0o644); err != nil {
+			fmt.Fprintln(stderr, "benchgate:", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "benchgate: baseline %s updated (%d benchmarks)\n", *baselinePath, len(base.Benchmarks))
+		return 0
+	}
+
+	failures, report := gate(&base, measured)
+	fmt.Fprint(stdout, report)
+	if len(failures) > 0 {
+		fmt.Fprintf(stderr, "benchgate: %d regression(s):\n", len(failures))
+		for _, f := range failures {
+			fmt.Fprintln(stderr, "  FAIL", f)
+		}
+		fmt.Fprintln(stderr, "If intentional, re-baseline with: make bench-baseline (and commit BENCH_BASELINE.json)")
+		return 1
+	}
+	fmt.Fprintf(stdout, "benchgate: %d benchmarks within tolerance\n", len(base.Benchmarks))
+	return 0
+}

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const benchOutput = `goos: linux
+goarch: amd64
+pkg: beacongnn/internal/sim
+cpu: Test CPU
+BenchmarkEventKernel-8   	  500000	      2000 ns/op	     120 B/op	       5 allocs/op
+BenchmarkEventKernel-8   	  500000	      2100 ns/op	     120 B/op	       5 allocs/op
+BenchmarkEventKernel-8   	  500000	      1900 ns/op	     120 B/op	       5 allocs/op
+BenchmarkEventKernel-8   	  500000	      2050 ns/op	     120 B/op	       5 allocs/op
+BenchmarkEventKernel-8   	  500000	      1950 ns/op	     120 B/op	       5 allocs/op
+PASS
+pkg: beacongnn
+BenchmarkRunAllParallel-8   	       2	 900000000 ns/op	 5000000 B/op	   40000 allocs/op
+BenchmarkRunAllParallel-8   	       2	 910000000 ns/op	 5000000 B/op	   40000 allocs/op
+BenchmarkRunAllParallel-8   	       2	 890000000 ns/op	 5000000 B/op	   40000 allocs/op
+PASS
+`
+
+func TestParseKeysByPackageAndMedian(t *testing.T) {
+	samples, err := parse(strings.NewReader(benchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := medians(samples)
+	kernel, ok := m["beacongnn/internal/sim BenchmarkEventKernel"]
+	if !ok {
+		t.Fatalf("kernel benchmark not keyed by package; keys: %v", keys(m))
+	}
+	if kernel.NsPerOp != 2000 {
+		t.Fatalf("median ns/op = %v, want 2000", kernel.NsPerOp)
+	}
+	if kernel.AllocsPerOp != 5 {
+		t.Fatalf("median allocs/op = %v, want 5", kernel.AllocsPerOp)
+	}
+	runall := m["beacongnn BenchmarkRunAllParallel"]
+	if runall.NsPerOp != 900000000 {
+		t.Fatalf("RunAll median ns/op = %v", runall.NsPerOp)
+	}
+}
+
+func keys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func baselineFor(ns, allocs float64) *Baseline {
+	return &Baseline{
+		NsTolerance:     0.5,
+		AllocsTolerance: 0.05,
+		Benchmarks: map[string]*Baseline1{
+			"beacongnn/internal/sim BenchmarkEventKernel": {NsPerOp: ns, AllocsPerOp: allocs},
+		},
+	}
+}
+
+func measuredKernel(t *testing.T) map[string]Baseline1 {
+	t.Helper()
+	samples, err := parse(strings.NewReader(benchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return medians(samples)
+}
+
+func TestGatePassesWithinTolerance(t *testing.T) {
+	// Baseline 1800 ns, measured 2000: +11 % < 50 % tolerance.
+	failures, report := gate(baselineFor(1800, 5), measuredKernel(t))
+	if len(failures) != 0 {
+		t.Fatalf("unexpected failures: %v", failures)
+	}
+	if !strings.Contains(report, "BenchmarkEventKernel") {
+		t.Fatalf("report missing the gated benchmark:\n%s", report)
+	}
+}
+
+func TestGateFailsOnSyntheticNsRegression(t *testing.T) {
+	// Seeded regression: baseline says 900 ns, measurement is 2000 —
+	// a 2.2× slowdown must trip the 50 % gate.
+	failures, _ := gate(baselineFor(900, 5), measuredKernel(t))
+	if len(failures) != 1 || !strings.Contains(failures[0], "ns/op") {
+		t.Fatalf("failures = %v, want one ns/op regression", failures)
+	}
+}
+
+func TestGateFailsOnAllocRegression(t *testing.T) {
+	// allocs went 3 -> 5: past the 5 % + 1 limit even though ns is fine.
+	failures, _ := gate(baselineFor(2000, 3), measuredKernel(t))
+	if len(failures) != 1 || !strings.Contains(failures[0], "allocs/op") {
+		t.Fatalf("failures = %v, want one allocs/op regression", failures)
+	}
+}
+
+func TestGateFailsOnMissingBenchmark(t *testing.T) {
+	b := baselineFor(2000, 5)
+	b.Benchmarks["beacongnn BenchmarkRenamedAway"] = &Baseline1{NsPerOp: 1, AllocsPerOp: 1}
+	failures, _ := gate(b, measuredKernel(t))
+	if len(failures) != 1 || !strings.Contains(failures[0], "missing") {
+		t.Fatalf("failures = %v, want one missing-benchmark failure", failures)
+	}
+}
+
+func TestRunEndToEndGateAndUpdate(t *testing.T) {
+	dir := t.TempDir()
+	benchPath := filepath.Join(dir, "bench.out")
+	if err := os.WriteFile(benchPath, []byte(benchOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	basePath := filepath.Join(dir, "baseline.json")
+	if err := os.WriteFile(basePath, []byte(`{
+  "ns_tolerance": 0.5,
+  "allocs_tolerance": 0.05,
+  "benchmarks": {
+    "beacongnn/internal/sim BenchmarkEventKernel": {"ns_per_op": 900, "allocs_per_op": 5}
+  }
+}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	// Gate trips on the seeded 900-ns baseline...
+	if code := run([]string{"-baseline", basePath, benchPath}, nil, &out, &errOut); code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "regression") {
+		t.Fatalf("stderr does not report the regression: %s", errOut.String())
+	}
+	// ...-update re-baselines it...
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-baseline", basePath, "-update", benchPath}, nil, &out, &errOut); code != 0 {
+		t.Fatalf("update exit = %d; stderr: %s", code, errOut.String())
+	}
+	// ...and the same measurement now passes.
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-baseline", basePath, benchPath}, nil, &out, &errOut); code != 0 {
+		t.Fatalf("post-update exit = %d; stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "within tolerance") {
+		t.Fatalf("stdout: %s", out.String())
+	}
+}

@@ -6,6 +6,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -27,8 +28,28 @@ type Options struct {
 	Quick      bool // shrink sweeps for CI-speed runs
 	Workers    int  // concurrent simulations (0 = GOMAXPROCS, 1 = sequential)
 	Check      bool // verify run invariants on every simulation (-check)
-	filled     bool
-	eng        *exp.Engine
+
+	// Ctx, when set, bounds every simulation the runners request:
+	// cancellation or deadline expiry aborts in-flight event loops and
+	// fails the experiment with the context's error. Nil means
+	// context.Background() — the CLI batch behaviour. The serving layer
+	// sets it to the HTTP request context.
+	Ctx context.Context
+
+	// Engine, when set, is used instead of a private engine — the
+	// serving layer shares one pool (and one memo) across all requests.
+	Engine *exp.Engine
+
+	filled bool
+	eng    *exp.Engine
+}
+
+// context returns the Options' simulation context.
+func (o *Options) context() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 func (o *Options) fill() {
@@ -50,9 +71,13 @@ func (o *Options) fill() {
 		}
 		o.Batches = 3
 	}
-	o.eng = exp.New(o.Workers)
-	if o.Check {
-		o.eng.EnableChecks()
+	if o.Engine != nil {
+		o.eng = o.Engine
+	} else {
+		o.eng = exp.New(o.Workers)
+		if o.Check {
+			o.eng.EnableChecks()
+		}
 	}
 	o.filled = true
 }
@@ -218,7 +243,7 @@ func (o *Options) simulateCfg(k platform.Kind, cfg config.Config, name string, t
 	if err != nil {
 		return nil, err
 	}
-	return o.engine().Simulate(k, cfg, inst, o.Batches, timeline)
+	return o.engine().SimulateCtx(o.context(), k, cfg, inst, o.Batches, timeline)
 }
 
 // simulateGrid fans every (dataset, platform) pair out across the

@@ -28,6 +28,9 @@
 package exp
 
 import (
+	"container/list"
+	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"runtime"
@@ -44,14 +47,17 @@ import (
 type Engine struct {
 	sem chan struct{} // one token per concurrently running leaf
 
-	// simFn is the simulation leaf; platform.Simulate in production,
+	// simFn is the simulation leaf; platform.SimulateCtx in production,
 	// replaceable in tests (e.g. to exercise panic recovery).
-	simFn func(platform.Kind, config.Config, *dataset.Instance, int, int) (*platform.Result, error)
+	simFn func(context.Context, platform.Kind, config.Config, *dataset.Instance, int, int) (*platform.Result, error)
 
-	mu   sync.Mutex
-	memo map[SimKey]*memoEntry
-	hits uint64
-	runs uint64
+	mu      sync.Mutex
+	memo    map[SimKey]*memoEntry
+	lru     list.List // completed keys, most recent at front; used iff memoCap > 0
+	memoCap int       // max completed entries kept (0 = unbounded)
+	hits    uint64
+	runs    uint64
+	evicted uint64
 }
 
 // New returns an engine running at most workers leaves concurrently.
@@ -62,9 +68,20 @@ func New(workers int) *Engine {
 	}
 	return &Engine{
 		sem:   make(chan struct{}, workers),
-		simFn: platform.Simulate,
+		simFn: platform.SimulateCtx,
 		memo:  make(map[SimKey]*memoEntry),
 	}
+}
+
+// SetMemoCap bounds the memo to the n most recently used completed
+// results, evicting least-recently-used entries past the cap — what a
+// long-lived daemon needs where a batch run wants the unbounded
+// default. In-flight entries are never evicted (waiters are parked on
+// them). n <= 0 restores unbounded. Call before the first Simulate.
+func (e *Engine) SetMemoCap(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.memoCap = n
 }
 
 // Workers returns the configured parallel width.
@@ -76,7 +93,7 @@ func (e *Engine) Workers() int { return cap(e.sem) }
 // named-invariant diagnostic if any breaks. Checked results are
 // identical to unchecked ones — checking only observes — so the memo
 // key is unchanged. Call before the first Simulate.
-func (e *Engine) EnableChecks() { e.simFn = platform.SimulateChecked }
+func (e *Engine) EnableChecks() { e.simFn = platform.SimulateCheckedCtx }
 
 // Stats returns the number of simulations executed and the number served
 // from the memo cache.
@@ -84,6 +101,32 @@ func (e *Engine) Stats() (runs, hits uint64) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.runs, e.hits
+}
+
+// Evictions returns how many completed memo entries the LRU cap has
+// dropped (always 0 with the unbounded default).
+func (e *Engine) Evictions() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.evicted
+}
+
+// Cached reports whether key's result is already completed in the memo,
+// i.e. a Simulate for it would return without running or waiting. A
+// serving layer uses it to label responses as cache hits.
+func (e *Engine) Cached(key SimKey) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ent, ok := e.memo[key]
+	if !ok {
+		return false
+	}
+	select {
+	case <-ent.done:
+		return !ent.abandoned
+	default:
+		return false
+	}
 }
 
 // Throttle runs fn while holding one worker slot. Use it around heavy
@@ -97,6 +140,21 @@ func (e *Engine) Throttle(fn func()) {
 	fn()
 }
 
+// ThrottleCtx is Throttle with a cancellable slot wait: if ctx expires
+// before a worker slot frees up, fn never runs and ctx.Err() is
+// returned. Once fn starts it runs to completion — pass ctx into fn
+// itself if the work can be abandoned midway.
+func (e *Engine) ThrottleCtx(ctx context.Context, fn func()) error {
+	select {
+	case e.sem <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	defer func() { <-e.sem }()
+	fn()
+	return nil
+}
+
 // SimKey identifies one memoizable simulation.
 type SimKey struct {
 	Kind     platform.Kind
@@ -108,9 +166,17 @@ type SimKey struct {
 }
 
 type memoEntry struct {
-	done chan struct{} // closed when res/err are valid
+	done chan struct{} // closed when res/err (or abandoned) are valid
 	res  *platform.Result
 	err  error
+
+	// abandoned marks an entry whose runner was cancelled before
+	// producing a result. It is removed from the memo (set strictly
+	// before close(done)), and deduped waiters that observe it retry the
+	// key instead of inheriting a cancellation that was not theirs.
+	abandoned bool
+
+	elem *list.Element // position in the LRU list; nil when unbounded
 }
 
 // ConfigDigest returns a stable digest of every field of the config.
@@ -142,38 +208,104 @@ func Key(kind platform.Kind, cfg config.Config, inst *dataset.Instance, batches,
 // rest wait on its completion without consuming slots. The returned
 // Result is shared between all callers and must be treated as read-only.
 func (e *Engine) Simulate(kind platform.Kind, cfg config.Config, inst *dataset.Instance, batches, timeline int) (*platform.Result, error) {
+	return e.SimulateCtx(context.Background(), kind, cfg, inst, batches, timeline)
+}
+
+// SimulateCtx is Simulate bound to ctx. Cancellation is observed at
+// every blocking point: waiting for a worker slot, waiting on a deduped
+// in-flight run, and inside the simulation's own event loop (via
+// platform.SimulateCtx) — so an abandoned request frees its pool slot
+// instead of running to completion. A cancelled run is removed from the
+// memo rather than cached: deduped waiters with live contexts re-run
+// the key, and future requests are unaffected.
+func (e *Engine) SimulateCtx(ctx context.Context, kind platform.Kind, cfg config.Config, inst *dataset.Instance, batches, timeline int) (*platform.Result, error) {
 	if inst == nil {
 		return nil, fmt.Errorf("exp: nil dataset instance")
 	}
 	key := Key(kind, cfg, inst, batches, timeline)
-	e.mu.Lock()
-	ent, ok := e.memo[key]
-	if ok {
-		e.hits++
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		e.mu.Lock()
+		if ent, ok := e.memo[key]; ok {
+			e.hits++
+			if ent.elem != nil {
+				e.lru.MoveToFront(ent.elem)
+			}
+			e.mu.Unlock()
+			select {
+			case <-ent.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if ent.abandoned {
+				continue // runner was cancelled; the key is free again — retry
+			}
+			return ent.res, ent.err
+		}
+		ent := &memoEntry{done: make(chan struct{})}
+		e.memo[key] = ent
 		e.mu.Unlock()
-		<-ent.done
+
+		select {
+		case e.sem <- struct{}{}:
+		case <-ctx.Done():
+			e.abandon(key, ent)
+			return nil, ctx.Err()
+		}
+		func() {
+			defer func() { <-e.sem }()
+			// The channel must close even if the leaf panics: deduped
+			// waiters block on it, and a skipped close would strand every
+			// caller of this key forever. The panic is converted into the
+			// entry's error so waiters and the runner observe the same
+			// failure.
+			defer func() {
+				if rec := recover(); rec != nil {
+					ent.res = nil
+					ent.err = fmt.Errorf("exp: simulation %v on %s panicked: %v", kind, inst.Desc.Name, rec)
+				}
+				e.finish(key, ent)
+			}()
+			e.mu.Lock()
+			e.runs++
+			e.mu.Unlock()
+			ent.res, ent.err = e.simFn(ctx, kind, cfg, inst, batches, timeline)
+		}()
 		return ent.res, ent.err
 	}
-	ent = &memoEntry{done: make(chan struct{})}
-	e.memo[key] = ent
-	e.runs++
-	e.mu.Unlock()
+}
 
-	e.Throttle(func() {
-		// The channel must close even if the leaf panics: deduped waiters
-		// block on it, and a skipped close would strand every caller of
-		// this key forever. The panic is converted into the entry's error
-		// so waiters and the runner observe the same failure.
-		defer func() {
-			if rec := recover(); rec != nil {
-				ent.res = nil
-				ent.err = fmt.Errorf("exp: simulation %v on %s panicked: %v", kind, inst.Desc.Name, rec)
-			}
-			close(ent.done)
-		}()
-		ent.res, ent.err = e.simFn(kind, cfg, inst, batches, timeline)
-	})
-	return ent.res, ent.err
+// abandon releases a never-run entry whose caller was cancelled while
+// waiting for a worker slot.
+func (e *Engine) abandon(key SimKey, ent *memoEntry) {
+	e.mu.Lock()
+	delete(e.memo, key)
+	e.mu.Unlock()
+	ent.abandoned = true
+	close(ent.done)
+}
+
+// finish publishes a completed entry: cancelled runs are removed from
+// the memo (waiters retry), everything else — results and real errors
+// alike — is cached and enters the LRU when a cap is set.
+func (e *Engine) finish(key SimKey, ent *memoEntry) {
+	e.mu.Lock()
+	if ent.err != nil && (errors.Is(ent.err, context.Canceled) || errors.Is(ent.err, context.DeadlineExceeded)) {
+		delete(e.memo, key)
+		ent.abandoned = true
+	} else if e.memoCap > 0 {
+		ent.elem = e.lru.PushFront(key)
+		for e.lru.Len() > e.memoCap {
+			back := e.lru.Back()
+			delete(e.memo, back.Value.(SimKey))
+			e.lru.Remove(back)
+			e.evicted++
+		}
+	}
+	e.mu.Unlock()
+	close(ent.done)
 }
 
 // Map applies f to every item concurrently and returns the results in

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"sync"
@@ -130,7 +131,7 @@ func TestSimulatePanicUnblocksDedupedWaiters(t *testing.T) {
 	e := New(2)
 	started := make(chan struct{})
 	release := make(chan struct{})
-	e.simFn = func(platform.Kind, config.Config, *dataset.Instance, int, int) (*platform.Result, error) {
+	e.simFn = func(context.Context, platform.Kind, config.Config, *dataset.Instance, int, int) (*platform.Result, error) {
 		close(started)
 		<-release // hold the leaf until a waiter has deduped onto the key
 		panic("boom in leaf")
@@ -241,6 +242,194 @@ func TestMapPreservesOrderAndLowestError(t *testing.T) {
 	})
 	if !errors.Is(err, e3) {
 		t.Fatalf("err = %v, want lowest-indexed failure %v", err, e3)
+	}
+}
+
+func TestSimulateCtxCancelStopsRunningLeaf(t *testing.T) {
+	// Regression for the pre-context engine: a cancelled request kept its
+	// worker slot busy until the simulation ran to completion. Now the
+	// kernel's cancel poll aborts the event loop mid-run, the slot frees
+	// promptly, and the entry is NOT cached — a later request re-runs.
+	e := New(1)
+	inst := testInstance(t)
+	cfg := config.Default()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		// Large enough that the run is comfortably in flight when cancel
+		// lands (a full run takes well over the test's poll interval).
+		_, err := e.SimulateCtx(ctx, platform.BG2, cfg, inst, 64, 0)
+		errCh <- err
+	}()
+	// Wait until the leaf has actually started (runs counts executions).
+	for {
+		if runs, _ := e.Stats(); runs == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled simulation did not return; leaf ran to completion holding the slot")
+	}
+	// The abandoned key must not be cached: a fresh request re-runs it.
+	if _, err := e.Simulate(platform.BG2, cfg, inst, 64, 0); err != nil {
+		t.Fatal(err)
+	}
+	if runs, _ := e.Stats(); runs != 2 {
+		t.Fatalf("runs = %d, want 2 (cancelled run must not populate the memo)", runs)
+	}
+}
+
+func TestSimulateCtxCancelWhileWaitingForSlot(t *testing.T) {
+	e := New(1)
+	inst := testInstance(t)
+	cfg := config.Default()
+	block := make(chan struct{})
+	started := make(chan struct{}, 4)
+	e.simFn = func(_ context.Context, kind platform.Kind, _ config.Config, _ *dataset.Instance, _, _ int) (*platform.Result, error) {
+		started <- struct{}{}
+		if kind == platform.BG2 {
+			<-block
+		}
+		return &platform.Result{}, nil
+	}
+	go e.Simulate(platform.BG2, cfg, inst, 2, 0) // occupies the only slot
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := e.SimulateCtx(ctx, platform.BG1, cfg, inst, 2, 0)
+		errCh <- err
+	}()
+	time.Sleep(5 * time.Millisecond) // let the second request park on the slot
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("slot wait ignored cancellation")
+	}
+	close(block)
+	// The abandoned key must be claimable again.
+	if _, err := e.Simulate(platform.BG1, cfg, inst, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimulateCtxWaiterOutlivesCancelledRunner(t *testing.T) {
+	// A deduped waiter with a live context must not inherit the runner's
+	// cancellation: it retries the key and succeeds.
+	e := New(2)
+	inst := testInstance(t)
+	cfg := config.Default()
+	var calls atomic.Int32
+	started := make(chan struct{}, 2)
+	runnerCtx, cancelRunner := context.WithCancel(context.Background())
+	e.simFn = func(ctx context.Context, _ platform.Kind, _ config.Config, _ *dataset.Instance, _, _ int) (*platform.Result, error) {
+		started <- struct{}{}
+		if calls.Add(1) == 1 {
+			<-ctx.Done() // first runner parks until cancelled
+			return nil, ctx.Err()
+		}
+		return &platform.Result{Platform: "retry"}, nil
+	}
+
+	go e.SimulateCtx(runnerCtx, platform.BG2, cfg, inst, 2, 0)
+	<-started
+	resCh := make(chan *platform.Result, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		r, err := e.SimulateCtx(context.Background(), platform.BG2, cfg, inst, 2, 0)
+		resCh <- r
+		errCh <- err
+	}()
+	// Park the waiter on the in-flight entry, then kill the runner.
+	for {
+		if _, hits := e.Stats(); hits >= 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancelRunner()
+	select {
+	case r := <-resCh:
+		if err := <-errCh; err != nil {
+			t.Fatalf("waiter err = %v, want retried success", err)
+		}
+		if r == nil || r.Platform != "retry" {
+			t.Fatalf("waiter result = %+v, want the retried run's result", r)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("waiter hung after its runner was cancelled")
+	}
+}
+
+func TestSetMemoCapEvictsLRU(t *testing.T) {
+	e := New(2)
+	e.SetMemoCap(2)
+	inst := testInstance(t)
+	cfg := config.Default()
+	var calls atomic.Int32
+	e.simFn = func(_ context.Context, k platform.Kind, _ config.Config, _ *dataset.Instance, _, _ int) (*platform.Result, error) {
+		calls.Add(1)
+		return &platform.Result{Platform: k.String()}, nil
+	}
+	run := func(k platform.Kind) {
+		t.Helper()
+		if _, err := e.Simulate(k, cfg, inst, 2, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run(platform.CC)  // cache: [CC]
+	run(platform.BG1) // cache: [BG1 CC]
+	run(platform.CC)  // touch CC -> [CC BG1]
+	run(platform.BG2) // evicts BG1 -> [BG2 CC]
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("calls = %d, want 3", got)
+	}
+	if !e.Cached(Key(platform.CC, cfg, inst, 2, 0)) {
+		t.Fatal("recently-used CC entry was evicted")
+	}
+	if e.Cached(Key(platform.BG1, cfg, inst, 2, 0)) {
+		t.Fatal("LRU entry BG1 survived past the cap")
+	}
+	run(platform.BG1) // must re-run after eviction
+	if got := calls.Load(); got != 4 {
+		t.Fatalf("calls = %d, want 4 (evicted key must re-run)", got)
+	}
+	if n := e.Evictions(); n != 2 {
+		t.Fatalf("evictions = %d, want 2", n)
+	}
+}
+
+func TestThrottleCtx(t *testing.T) {
+	e := New(1)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go e.Throttle(func() { close(started); <-release })
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	if err := e.ThrottleCtx(ctx, func() { ran = true }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Fatal("fn ran despite cancelled slot wait")
+	}
+	close(release)
+	if err := e.ThrottleCtx(context.Background(), func() { ran = true }); err != nil || !ran {
+		t.Fatalf("err = %v ran = %v, want nil/true", err, ran)
 	}
 }
 

@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegistryExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("beaconserved_requests_total").Add(3)
+	r.Counter(`beaconserved_responses_total{code="200"}`).Add(2)
+	r.Counter(`beaconserved_responses_total{code="429"}`).Inc()
+	r.Gauge("beaconserved_inflight").Set(1)
+	r.GaugeFunc("beaconserved_uptime_seconds", func() float64 { return 12.5 })
+	s := r.Summary(`beaconserved_request_seconds{endpoint="simulate"}`)
+	for i := 0; i < 100; i++ {
+		s.Observe(10 * time.Millisecond)
+	}
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE beaconserved_requests_total counter\n",
+		"beaconserved_requests_total 3\n",
+		`beaconserved_responses_total{code="200"} 2`,
+		`beaconserved_responses_total{code="429"} 1`,
+		"# TYPE beaconserved_inflight gauge\n",
+		"beaconserved_inflight 1\n",
+		"beaconserved_uptime_seconds 12.5\n",
+		"# TYPE beaconserved_request_seconds summary\n",
+		`beaconserved_request_seconds{endpoint="simulate",quantile="0.5"}`,
+		`beaconserved_request_seconds_sum{endpoint="simulate"} 1`,
+		`beaconserved_request_seconds_count{endpoint="simulate"} 100`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// One TYPE header per base name even with multiple label sets.
+	if n := strings.Count(out, "# TYPE beaconserved_responses_total"); n != 1 {
+		t.Errorf("responses_total TYPE header count = %d, want 1", n)
+	}
+	// Deterministic: a second render is identical.
+	var b2 strings.Builder
+	if err := r.WriteText(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != out {
+		t.Error("exposition is not deterministic across renders")
+	}
+}
+
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				r.Counter("c_total").Inc()
+				r.Gauge("g").Add(1)
+				r.Summary("s_seconds").Observe(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if v := r.Counter("c_total").Value(); v != 4000 {
+		t.Fatalf("counter = %d, want 4000", v)
+	}
+	if v := r.Gauge("g").Value(); v != 4000 {
+		t.Fatalf("gauge = %d, want 4000", v)
+	}
+	count, _, _ := r.Summary("s_seconds").Snapshot(0.5)
+	if count != 4000 {
+		t.Fatalf("summary count = %d, want 4000", count)
+	}
+}
+
+func TestSummaryQuantilesSane(t *testing.T) {
+	s := &Summary{}
+	for i := 1; i <= 1000; i++ {
+		s.Observe(time.Duration(i) * time.Millisecond)
+	}
+	count, sum, qs := s.Snapshot(0.5, 0.99)
+	if count != 1000 {
+		t.Fatalf("count = %d", count)
+	}
+	if sum <= 0 {
+		t.Fatalf("sum = %v", sum)
+	}
+	p50, p99 := qs[0], qs[1]
+	if p50 < 300*time.Millisecond || p50 > 700*time.Millisecond {
+		t.Errorf("p50 = %v, want ~500ms", p50)
+	}
+	if p99 < p50 || p99 > time.Second {
+		t.Errorf("p99 = %v, want in (p50, 1s]", p99)
+	}
+}

@@ -1,6 +1,8 @@
 package platform
 
 import (
+	"context"
+
 	"beacongnn/internal/config"
 	"beacongnn/internal/dataset"
 	"beacongnn/internal/invariant"
@@ -151,10 +153,16 @@ func (s *System) runChecks(res *Result) error {
 // or sanity law breaks. Results are identical to Simulate — checking
 // only observes.
 func SimulateChecked(kind Kind, cfg config.Config, inst *dataset.Instance, numBatches, timelinePoints int) (*Result, error) {
+	return SimulateCheckedCtx(context.Background(), kind, cfg, inst, numBatches, timelinePoints)
+}
+
+// SimulateCheckedCtx is SimulateChecked bound to ctx; see SimulateCtx.
+func SimulateCheckedCtx(ctx context.Context, kind Kind, cfg config.Config, inst *dataset.Instance, numBatches, timelinePoints int) (*Result, error) {
 	s, err := NewSystem(kind, cfg, inst, timelinePoints)
 	if err != nil {
 		return nil, err
 	}
 	s.EnableChecks(invariant.New())
+	s.BindContext(ctx)
 	return s.Run(numBatches)
 }

@@ -1,6 +1,7 @@
 package platform
 
 import (
+	"context"
 	"fmt"
 
 	"beacongnn/internal/accel"
@@ -60,6 +61,10 @@ type System struct {
 	failErr    error // first unrecoverable device error; set via fail()
 	retireWear int   // wear-caused retirements since the last relocation
 
+	// ctx, when bound, lets the event loop observe request abandonment;
+	// see BindContext.
+	ctx context.Context
+
 	// chk is the invariant checker; nil unless EnableChecks was called.
 	// Checking only observes: a checked run's results are identical.
 	chk *invariant.Checker
@@ -75,6 +80,19 @@ type System struct {
 	onSample func(parent, child uint32, hop int)
 
 	pcieBytes uint64 // payload bytes moved over PCIe (excl. SQE/CQE)
+}
+
+// BindContext ties the simulation's event loop to ctx: the kernel polls
+// ctx.Err every few thousand events and Run returns ctx.Err() once it
+// fires, so an abandoned request stops burning CPU mid-simulation
+// instead of running to completion. Must be called before Run; a nil or
+// Background context leaves the loop unobserved.
+func (s *System) BindContext(ctx context.Context) {
+	if ctx == nil || ctx.Done() == nil {
+		return
+	}
+	s.ctx = ctx
+	s.k.SetCancel(func() bool { return ctx.Err() != nil })
 }
 
 // SetSampleObserver installs a functional-sampling observer (die-level
@@ -306,6 +324,12 @@ func (s *System) Run(numBatches int) (*Result, error) {
 	if s.failErr != nil {
 		return nil, s.failErr
 	}
+	if s.k.Canceled() {
+		if s.ctx != nil && s.ctx.Err() != nil {
+			return nil, s.ctx.Err()
+		}
+		return nil, context.Canceled
+	}
 	if !finished {
 		return nil, fmt.Errorf("platform: %v simulation deadlocked (events drained before completion)", s.kind)
 	}
@@ -358,9 +382,16 @@ func (s *System) Run(numBatches int) (*Result, error) {
 
 // Simulate is the one-call entry: build a system and run it.
 func Simulate(kind Kind, cfg config.Config, inst *dataset.Instance, numBatches, timelinePoints int) (*Result, error) {
+	return SimulateCtx(context.Background(), kind, cfg, inst, numBatches, timelinePoints)
+}
+
+// SimulateCtx is Simulate bound to ctx: cancellation or deadline expiry
+// aborts the event loop mid-run and returns ctx.Err().
+func SimulateCtx(ctx context.Context, kind Kind, cfg config.Config, inst *dataset.Instance, numBatches, timelinePoints int) (*Result, error) {
 	s, err := NewSystem(kind, cfg, inst, timelinePoints)
 	if err != nil {
 		return nil, err
 	}
+	s.BindContext(ctx)
 	return s.Run(numBatches)
 }

@@ -1,0 +1,34 @@
+package serve
+
+import "sync/atomic"
+
+// admission is the load shedder: a hard cap on simultaneously admitted
+// heavy requests (queued on the pool plus running). Past the cap the
+// caller sheds with 429 instead of letting the queue — and every
+// queued request's latency — grow without bound. The cap is
+// intentionally a simple atomic counter, not a queue: ordering fairness
+// comes from the engine's semaphore underneath.
+type admission struct {
+	cap int64
+	cur atomic.Int64
+}
+
+func newAdmission(depth int) *admission {
+	return &admission{cap: int64(depth)}
+}
+
+// tryAcquire admits one request, reporting false (and admitting
+// nothing) when the cap is reached.
+func (a *admission) tryAcquire() bool {
+	if a.cur.Add(1) > a.cap {
+		a.cur.Add(-1)
+		return false
+	}
+	return true
+}
+
+// release returns one admitted slot.
+func (a *admission) release() { a.cur.Add(-1) }
+
+// inflight returns the currently admitted count.
+func (a *admission) inflight() int64 { return a.cur.Load() }

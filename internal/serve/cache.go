@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"sync"
+
+	"beacongnn/internal/dataset"
+	"beacongnn/internal/exp"
+)
+
+// instKey identifies one materialized dataset instance — every input
+// Materialize depends on, so distinct scales/seeds/page sizes can never
+// alias.
+type instKey struct {
+	name     string
+	nodes    int
+	pageSize int
+	seed     uint64
+}
+
+type instEntry struct {
+	done      chan struct{} // closed when inst/err (or abandoned) are valid
+	inst      *dataset.Instance
+	err       error
+	abandoned bool // cancelled before materializing; waiters retry
+	elem      *list.Element
+}
+
+// instCache is a bounded LRU of materialized dataset instances with
+// in-flight deduplication: concurrent requests for the same instance
+// materialize once, and materialization holds an engine worker slot so
+// it competes with simulations for CPU rather than alongside them.
+// Instances dominate the daemon's memory (features + graph + pages),
+// which is why they get their own small cap, separate from the result
+// memo.
+type instCache struct {
+	mu  sync.Mutex
+	cap int
+	m   map[instKey]*instEntry
+	lru list.List
+	eng *exp.Engine
+}
+
+func newInstCache(cap int, eng *exp.Engine) *instCache {
+	return &instCache{cap: cap, m: make(map[instKey]*instEntry), eng: eng}
+}
+
+// get returns the cached instance for key, materializing it (throttled,
+// cancellable while queued) on a miss. Errors are not cached: a failed
+// or abandoned materialization frees the key for the next request.
+func (c *instCache) get(ctx context.Context, key instKey) (*dataset.Instance, error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		c.mu.Lock()
+		if ent, ok := c.m[key]; ok {
+			if ent.elem != nil {
+				c.lru.MoveToFront(ent.elem)
+			}
+			c.mu.Unlock()
+			select {
+			case <-ent.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if ent.abandoned {
+				continue
+			}
+			return ent.inst, ent.err
+		}
+		ent := &instEntry{done: make(chan struct{})}
+		c.m[key] = ent
+		c.mu.Unlock()
+
+		d, err := dataset.ByName(key.name)
+		if err == nil {
+			// The slot wait is cancellable; Materialize itself runs to
+			// completion once started (it is bounded by MaxNodes).
+			err = c.eng.ThrottleCtx(ctx, func() {
+				ent.inst, ent.err = dataset.Materialize(d, key.nodes, key.pageSize, key.seed)
+			})
+		}
+		if err != nil && ent.err == nil {
+			ent.err = err
+		}
+		c.finish(key, ent, ctx)
+		return ent.inst, ent.err
+	}
+}
+
+func (c *instCache) finish(key instKey, ent *instEntry, ctx context.Context) {
+	c.mu.Lock()
+	switch {
+	case ent.err != nil:
+		// Do not cache failures — and if the failure was our own
+		// cancellation, let deduped waiters retry rather than inherit it.
+		delete(c.m, key)
+		ent.abandoned = ctx.Err() != nil && ent.inst == nil && ent.err == ctx.Err()
+	default:
+		ent.elem = c.lru.PushFront(key)
+		for c.lru.Len() > c.cap {
+			back := c.lru.Back()
+			delete(c.m, back.Value.(instKey))
+			c.lru.Remove(back)
+		}
+	}
+	c.mu.Unlock()
+	close(ent.done)
+}
+
+// len returns the number of completed cached instances.
+func (c *instCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

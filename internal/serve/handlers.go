@@ -1,0 +1,257 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"beacongnn/internal/core"
+	"beacongnn/internal/exp"
+)
+
+// writeJSON writes v with status code; encode failures after the header
+// are connection problems, not server state, so they are dropped.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, format string, a ...any) {
+	s.reg.Counter(fmt.Sprintf("beaconserved_responses_total{code=%q}", strconv.Itoa(code))).Inc()
+	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, a...)})
+}
+
+func (s *Server) writeOK(w http.ResponseWriter, v any) {
+	s.reg.Counter(`beaconserved_responses_total{code="200"}`).Inc()
+	writeJSON(w, http.StatusOK, v)
+}
+
+// admit runs the shared front half of both heavy endpoints: drain
+// refusal and queue-depth shedding. It returns a release func, or ok =
+// false with the response already written.
+func (s *Server) admit(w http.ResponseWriter) (release func(), ok bool) {
+	if s.Draining() {
+		s.writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return nil, false
+	}
+	if !s.adm.tryAcquire() {
+		s.reg.Counter("beaconserved_shed_total").Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		s.writeError(w, http.StatusTooManyRequests,
+			"queue full (%d requests admitted, cap %d); retry later", s.adm.inflight(), s.cfg.QueueDepth)
+		return nil, false
+	}
+	g := s.reg.Gauge("beaconserved_inflight")
+	g.Add(1)
+	return func() { g.Add(-1); s.adm.release() }, true
+}
+
+// retryAfterSeconds estimates when a shed client should come back: the
+// time for one pool turn to drain at the observed median request
+// latency, floored at 1s. With no history it answers 1.
+func (s *Server) retryAfterSeconds() int {
+	count, _, qs := s.reg.Summary(`beaconserved_request_seconds{endpoint="simulate"}`).Snapshot(0.5)
+	if count == 0 {
+		return 1
+	}
+	turns := float64(s.adm.inflight()) / float64(s.cfg.Workers)
+	est := int(math.Ceil(qs[0].Seconds() * turns))
+	if est < 1 {
+		return 1
+	}
+	return est
+}
+
+// finishErr maps a failed run to a response. Client disconnects get no
+// body (nobody is listening); deadline expiry is a 504 so the caller
+// can distinguish "too slow" from "invalid".
+func (s *Server) finishErr(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, context.Canceled) && r.Context().Err() != nil:
+		s.reg.Counter("beaconserved_client_gone_total").Inc()
+	case errors.Is(err, context.DeadlineExceeded):
+		s.writeError(w, http.StatusGatewayTimeout, "deadline exceeded: %v", err)
+	default:
+		s.writeError(w, http.StatusInternalServerError, "simulation failed: %v", err)
+	}
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req SimRequest
+	if err := decodeJSON(r.Body, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	job, err := s.validate(&req)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+	defer func() {
+		s.reg.Summary(`beaconserved_request_seconds{endpoint="simulate"}`).Observe(time.Since(start))
+	}()
+
+	ctx, cancel := context.WithTimeout(r.Context(), job.timeout)
+	defer cancel()
+
+	inst, err := s.insts.get(ctx, instKey{
+		name:     job.desc.Name,
+		nodes:    job.nodes,
+		pageSize: job.cfg.Flash.PageSize,
+		seed:     job.cfg.Seed,
+	})
+	if err != nil {
+		s.finishErr(w, r, err)
+		return
+	}
+	key := exp.Key(job.kind, job.cfg, inst, job.batches, simTimelinePoints)
+	hit := s.eng.Cached(key)
+	if hit {
+		s.reg.Counter("beaconserved_cache_hits_total").Inc()
+	} else {
+		s.reg.Counter("beaconserved_cache_misses_total").Inc()
+	}
+	res, err := s.eng.SimulateCtx(ctx, job.kind, job.cfg, inst, job.batches, simTimelinePoints)
+	if err != nil {
+		s.finishErr(w, r, err)
+		return
+	}
+	cacheHeader := "miss"
+	if hit {
+		cacheHeader = "hit"
+	}
+	w.Header().Set("X-Cache", cacheHeader)
+	s.writeOK(w, SimResponse{
+		Platform: res.Platform,
+		Dataset:  res.Dataset,
+		Nodes:    job.nodes,
+		Batches:  job.batches,
+		Cached:   hit,
+		WallMS:   float64(time.Since(start).Microseconds()) / 1e3,
+		Result:   res,
+	})
+}
+
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req ExpRequest
+	if err := decodeJSON(r.Body, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	e, err := core.ByID(req.ID)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Nodes < 0 || req.Nodes > s.cfg.MaxNodes {
+		s.writeError(w, http.StatusBadRequest, "nodes %d outside [0, %d]", req.Nodes, s.cfg.MaxNodes)
+		return
+	}
+	if req.Batches < 0 || req.Batches > s.cfg.MaxBatches {
+		s.writeError(w, http.StatusBadRequest, "batches %d outside [0, %d]", req.Batches, s.cfg.MaxBatches)
+		return
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS < 0 {
+		s.writeError(w, http.StatusBadRequest, "timeout_ms must be non-negative")
+		return
+	}
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+	defer func() {
+		s.reg.Summary(`beaconserved_request_seconds{endpoint="experiment"}`).Observe(time.Since(start))
+	}()
+
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	opts := &core.Options{
+		ScaleNodes: req.Nodes,
+		Batches:    req.Batches,
+		Quick:      req.Quick,
+		Ctx:        ctx,
+		Engine:     s.eng, // shared pool and result memo across requests
+	}
+	var buf bytes.Buffer
+	if err := e.Run(opts, &buf); err != nil {
+		s.finishErr(w, r, err)
+		return
+	}
+	s.writeOK(w, ExpResponse{
+		ID:     e.ID,
+		Title:  e.Title,
+		WallMS: float64(time.Since(start).Microseconds()) / 1e3,
+		Output: buf.String(),
+	})
+}
+
+func (s *Server) handleExperimentList(w http.ResponseWriter, _ *http.Request) {
+	type item struct {
+		ID    string `json:"id"`
+		Title string `json:"title"`
+	}
+	var out []item
+	for _, e := range core.AllExperiments() {
+		out = append(out, item{e.ID, e.Title})
+	}
+	s.writeOK(w, out)
+}
+
+// healthzResponse is the GET /healthz body.
+type healthzResponse struct {
+	Status        string  `json:"status"` // "ok" or "draining"
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Inflight      int64   `json:"inflight"`
+	QueueCap      int     `json:"queue_cap"`
+	Workers       int     `json:"workers"`
+	SimRuns       uint64  `json:"sim_runs"`
+	MemoHits      uint64  `json:"memo_hits"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	runs, hits := s.eng.Stats()
+	resp := healthzResponse{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Inflight:      s.adm.inflight(),
+		QueueCap:      s.cfg.QueueDepth,
+		Workers:       s.cfg.Workers,
+		SimRuns:       runs,
+		MemoHits:      hits,
+	}
+	code := http.StatusOK
+	if s.Draining() {
+		resp.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, resp)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WriteText(w)
+}

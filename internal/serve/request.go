@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"beacongnn/internal/config"
+	"beacongnn/internal/dataset"
+	"beacongnn/internal/platform"
+	"beacongnn/internal/sim"
+)
+
+// SimRequest is the JSON body of POST /v1/simulate. Zero-valued fields
+// take the same defaults as the beaconsim CLI, so an empty override set
+// here and a bare CLI run produce byte-identical results.
+type SimRequest struct {
+	Platform  string `json:"platform"`
+	Dataset   string `json:"dataset"`
+	Nodes     int    `json:"nodes,omitempty"`      // materialized graph nodes (default 10000)
+	Batches   int    `json:"batches,omitempty"`    // mini-batches (default 6)
+	BatchSize int    `json:"batch_size,omitempty"` // targets per batch (default: paper's 64)
+	Seed      uint64 `json:"seed,omitempty"`
+
+	ReadLatencyNS int64 `json:"read_latency_ns,omitempty"` // flash read latency override
+	Channels      int   `json:"channels,omitempty"`
+	Dies          int   `json:"dies,omitempty"` // dies per channel
+	Cores         int   `json:"cores,omitempty"`
+
+	Fault *FaultRequest `json:"fault,omitempty"`
+
+	// TimeoutMS is this request's deadline; 0 uses the server default.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// FaultRequest switches on the NAND reliability model with optional
+// overrides, mirroring beaconsim's -fault* flags.
+type FaultRequest struct {
+	BaseRBER        float64 `json:"base_rber,omitempty"`
+	InitialPECycles int     `json:"initial_pe_cycles,omitempty"`
+	DeadDies        []int   `json:"dead_dies,omitempty"`
+	DeadChannels    []int   `json:"dead_channels,omitempty"`
+}
+
+// simTimelinePoints matches beaconsim's resource-timeline resolution so
+// served results stay byte-identical to the CLI's.
+const simTimelinePoints = 1024
+
+// simJob is a validated SimRequest, ready to run.
+type simJob struct {
+	kind    platform.Kind
+	desc    dataset.Desc
+	nodes   int
+	batches int
+	cfg     config.Config
+	timeout time.Duration
+}
+
+// badRequestError marks validation failures that map to 400.
+type badRequestError struct{ msg string }
+
+func (e badRequestError) Error() string { return e.msg }
+
+func badf(format string, a ...any) error {
+	return badRequestError{fmt.Sprintf(format, a...)}
+}
+
+// decodeJSON strictly decodes one JSON object from r into v: unknown
+// fields, malformed bodies, and trailing garbage are all 400s — a typo
+// in an override must never silently simulate the default instead.
+func decodeJSON(r io.Reader, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badf("bad request body: %v", err)
+	}
+	if dec.More() {
+		return badf("bad request body: trailing data after the JSON object")
+	}
+	return nil
+}
+
+// validate resolves a SimRequest against the server's limits.
+func (s *Server) validate(req *SimRequest) (*simJob, error) {
+	if req.Platform == "" {
+		return nil, badf("missing required field \"platform\"")
+	}
+	kind, err := platform.ByName(req.Platform)
+	if err != nil {
+		return nil, badf("%v", err)
+	}
+	if req.Dataset == "" {
+		return nil, badf("missing required field \"dataset\"")
+	}
+	desc, err := dataset.ByName(req.Dataset)
+	if err != nil {
+		return nil, badf("%v", err)
+	}
+	job := &simJob{kind: kind, desc: desc, nodes: 10_000, batches: 6}
+	if req.Nodes != 0 {
+		if req.Nodes < 0 || req.Nodes > s.cfg.MaxNodes {
+			return nil, badf("nodes %d outside [1, %d]", req.Nodes, s.cfg.MaxNodes)
+		}
+		job.nodes = req.Nodes
+	}
+	if req.Batches != 0 {
+		if req.Batches < 0 || req.Batches > s.cfg.MaxBatches {
+			return nil, badf("batches %d outside [1, %d]", req.Batches, s.cfg.MaxBatches)
+		}
+		job.batches = req.Batches
+	}
+	if req.BatchSize < 0 || req.ReadLatencyNS < 0 || req.Channels < 0 || req.Dies < 0 || req.Cores < 0 {
+		return nil, badf("overrides must be non-negative")
+	}
+
+	cfg := config.Default()
+	if req.BatchSize > 0 {
+		cfg.GNN.BatchSize = req.BatchSize
+	}
+	if req.ReadLatencyNS > 0 {
+		cfg.Flash.ReadLatency = sim.Time(req.ReadLatencyNS)
+	}
+	if req.Channels > 0 {
+		cfg.Flash.Channels = req.Channels
+	}
+	if req.Dies > 0 {
+		cfg.Flash.DiesPerChannel = req.Dies
+	}
+	if req.Cores > 0 {
+		cfg.Firmware.Cores = req.Cores
+	}
+	if req.Seed != 0 {
+		cfg.Seed = req.Seed
+	}
+	if f := req.Fault; f != nil {
+		cfg.Fault.Enabled = true
+		if f.BaseRBER > 0 {
+			cfg.Fault.BaseRBER = f.BaseRBER
+		}
+		if f.InitialPECycles > 0 {
+			cfg.Fault.InitialPECycles = f.InitialPECycles
+		}
+		cfg.Fault.DeadDies = f.DeadDies
+		cfg.Fault.DeadChannels = f.DeadChannels
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, badf("%v", err)
+	}
+	job.cfg = cfg
+
+	job.timeout = s.cfg.DefaultTimeout
+	if req.TimeoutMS != 0 {
+		if req.TimeoutMS < 0 {
+			return nil, badf("timeout_ms must be non-negative")
+		}
+		job.timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+		if job.timeout > s.cfg.MaxTimeout {
+			job.timeout = s.cfg.MaxTimeout
+		}
+	}
+	return job, nil
+}
+
+// SimResponse is the JSON reply of POST /v1/simulate.
+type SimResponse struct {
+	Platform string `json:"platform"`
+	Dataset  string `json:"dataset"`
+	Nodes    int    `json:"nodes"`
+	Batches  int    `json:"batches"`
+	// Cached reports whether the result was served from the LRU memo
+	// without re-simulating (also surfaced as the X-Cache header).
+	Cached bool `json:"cached"`
+	// WallMS is handler wall time — near zero on cache hits.
+	WallMS float64 `json:"wall_ms"`
+	// Result is the full measurement set, identical to what the
+	// equivalent beaconsim run computes.
+	Result *platform.Result `json:"result"`
+}
+
+// ExpRequest is the JSON body of POST /v1/experiment: reproduce one
+// paper table/figure (see GET /v1/experiments for ids).
+type ExpRequest struct {
+	ID        string `json:"id"`
+	Quick     bool   `json:"quick,omitempty"`
+	Nodes     int    `json:"nodes,omitempty"`
+	Batches   int    `json:"batches,omitempty"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+}
+
+// ExpResponse carries the experiment's rendered report.
+type ExpResponse struct {
+	ID     string  `json:"id"`
+	Title  string  `json:"title"`
+	WallMS float64 `json:"wall_ms"`
+	Output string  `json:"output"`
+}
+
+// errorResponse is every non-2xx JSON body.
+type errorResponse struct {
+	Error string `json:"error"`
+}

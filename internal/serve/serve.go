@@ -1,0 +1,172 @@
+// Package serve is the simulation-as-a-service layer: a long-lived HTTP
+// daemon (cmd/beaconserved) over the batch experiment engine. It turns
+// the repository's one-shot CLI entry points into something that can
+// hold heavy concurrent traffic:
+//
+//   - requests run on the bounded worker pool of one shared exp.Engine,
+//     so N clients never oversubscribe the machine;
+//   - results are memoized in an LRU keyed by the engine's SimKey (the
+//     config digest plus platform/dataset/scale), so repeated requests
+//     are served without re-simulating;
+//   - admission control sheds load past a queue-depth cap with 429 and
+//     a Retry-After estimate instead of queueing unboundedly;
+//   - every request carries a deadline, threaded as a context through
+//     the engine into the simulation event loop, so abandoned work
+//     frees its pool slot mid-run;
+//   - shutdown is graceful: /healthz flips to draining, new work is
+//     refused, and in-flight runs complete before the process exits.
+package serve
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"beacongnn/internal/exp"
+	"beacongnn/internal/metrics"
+)
+
+// Config tunes the daemon. The zero value is completed by New with the
+// documented defaults.
+type Config struct {
+	// Workers bounds concurrently running simulations (0 = GOMAXPROCS).
+	Workers int
+	// QueueDepth caps admitted (queued + running) heavy requests; past
+	// it the server sheds with 429. 0 = 4× workers.
+	QueueDepth int
+	// CacheResults is the LRU cap on memoized simulation results
+	// (0 = 512). Each entry is one platform.Result — a few tens of KB.
+	CacheResults int
+	// CacheInstances is the LRU cap on materialized dataset instances
+	// (0 = 8). Instances are the big allocation: cap × MaxNodes bounds
+	// resident graph memory.
+	CacheInstances int
+	// DefaultTimeout applies when a request does not set timeout_ms
+	// (0 = 120s); MaxTimeout (0 = 10min) caps what clients may ask for.
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxNodes / MaxBatches bound per-request simulation size at
+	// admission (0 = 200 000 nodes, 64 batches).
+	MaxNodes   int
+	MaxBatches int
+	// Check routes every simulation through the invariant checker.
+	Check bool
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.CacheResults <= 0 {
+		c.CacheResults = 512
+	}
+	if c.CacheInstances <= 0 {
+		c.CacheInstances = 8
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 120 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 10 * time.Minute
+	}
+	if c.MaxNodes <= 0 {
+		c.MaxNodes = 200_000
+	}
+	if c.MaxBatches <= 0 {
+		c.MaxBatches = 64
+	}
+	return c
+}
+
+// Server is the HTTP serving layer. Create with New; it is an
+// http.Handler ready to mount on any http.Server or test harness.
+type Server struct {
+	cfg   Config
+	eng   *exp.Engine
+	reg   *metrics.Registry
+	insts *instCache
+	adm   *admission
+	mux   *http.ServeMux
+	start time.Time
+
+	draining atomic.Bool
+}
+
+// New builds a server: one shared engine (pool + LRU result memo), one
+// instance cache, one metrics registry.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	eng := exp.New(cfg.Workers)
+	if cfg.Check {
+		eng.EnableChecks()
+	}
+	eng.SetMemoCap(cfg.CacheResults)
+	s := &Server{
+		cfg:   cfg,
+		eng:   eng,
+		reg:   metrics.NewRegistry(),
+		insts: newInstCache(cfg.CacheInstances, eng),
+		adm:   newAdmission(cfg.QueueDepth),
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+	}
+	s.reg.GaugeFunc("beaconserved_uptime_seconds", func() float64 {
+		return time.Since(s.start).Seconds()
+	})
+	s.reg.GaugeFunc("beaconserved_sim_runs_total", func() float64 {
+		runs, _ := eng.Stats()
+		return float64(runs)
+	})
+	s.reg.GaugeFunc("beaconserved_sim_memo_hits_total", func() float64 {
+		_, hits := eng.Stats()
+		return float64(hits)
+	})
+	s.reg.GaugeFunc("beaconserved_cache_evictions_total", func() float64 {
+		return float64(eng.Evictions())
+	})
+	s.reg.GaugeFunc("beaconserved_workers", func() float64 {
+		return float64(cfg.Workers)
+	})
+	s.routes()
+	return s
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("POST /v1/experiment", s.handleExperiment)
+	s.mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+}
+
+// ServeHTTP dispatches to the mux, counting every request.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.reg.Counter("beaconserved_requests_total").Inc()
+	s.mux.ServeHTTP(w, r)
+}
+
+// Engine exposes the shared experiment engine (tests compare its stats).
+func (s *Server) Engine() *exp.Engine { return s.eng }
+
+// BeginDrain flips the server into draining: /healthz turns 503 so load
+// balancers stop routing here, and new heavy work is refused with 503
+// while in-flight requests run to completion. The HTTP layer
+// (http.Server.Shutdown) then waits for active connections.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }

@@ -600,3 +600,48 @@ func TestServerInterleavedArrivals(t *testing.T) {
 		t.Fatalf("completed %d, want 300", len(order))
 	}
 }
+
+func TestKernelCancelPollStopsRun(t *testing.T) {
+	k := New()
+	executed := 0
+	var self func()
+	self = func() {
+		executed++
+		k.After(1, self) // self-sustaining: without cancel, Run never drains
+	}
+	k.At(0, self)
+	canceled := false
+	k.SetCancel(func() bool { return canceled })
+	// Let a few strides pass, then cancel from inside an event.
+	k.After(5*cancelStride, func() { canceled = true })
+	done := make(chan struct{})
+	go func() { k.Run(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not stop after the cancel poll fired")
+	}
+	if !k.Canceled() {
+		t.Fatal("Canceled() = false after a cancel-poll stop")
+	}
+	if !k.Stopped() {
+		t.Fatal("Stopped() = false after a cancel-poll stop")
+	}
+	// The poll runs every cancelStride events, so at most one extra
+	// stride of events executed after the flag flipped.
+	if executed > 7*cancelStride {
+		t.Fatalf("executed %d events after cancellation, want prompt stop", executed)
+	}
+}
+
+func TestKernelNilCancelUnchanged(t *testing.T) {
+	k := New()
+	n := 0
+	for i := 0; i < 10; i++ {
+		k.After(Time(i), func() { n++ })
+	}
+	k.Run()
+	if n != 10 || k.Canceled() {
+		t.Fatalf("n=%d canceled=%v, want 10/false", n, k.Canceled())
+	}
+}
