@@ -3,9 +3,11 @@ FUZZTIME ?= 10s
 COVERPROFILE ?= cover.out
 BENCHCOUNT ?= 5
 BENCHOUT ?= bench.out
+BENCHREPORT ?= bench_report.txt
+PROFILEDIR ?= profiles
 
 .PHONY: build test race vet bench check cover invariants fuzz-smoke \
-	lint bench-run bench-gate bench-baseline smoke
+	lint bench-run bench-gate bench-baseline smoke profile
 
 build:
 	$(GO) build ./...
@@ -70,18 +72,41 @@ lint:
 bench-run:
 	$(GO) test -run='^$$' -bench='BenchmarkEventKernel|BenchmarkKernelDeep|BenchmarkServer$$|BenchmarkServerTraced' \
 		-benchmem -benchtime=0.5s -count=$(BENCHCOUNT) ./internal/sim/ | tee $(BENCHOUT)
+	$(GO) test -run='^$$' -bench='BenchmarkRequestPath' \
+		-benchmem -benchtime=0.5s -count=$(BENCHCOUNT) ./internal/serve/ | tee -a $(BENCHOUT)
 	$(GO) test -run='^$$' -bench='BenchmarkRunAllParallel' \
 		-benchmem -benchtime=1x -count=$(BENCHCOUNT) . | tee -a $(BENCHOUT)
 
 # Benchmark-regression gate: fail if median ns/op or allocs/op regresses
-# past the tolerances documented in BENCH_BASELINE.json.
+# past the tolerances documented in BENCH_BASELINE.json. Also writes
+# $(BENCHREPORT): the gate table, the explicit tracing-overhead delta
+# (BenchmarkServerTraced vs BenchmarkServer), and a benchstat-style
+# old-vs-new comparison against the checked-in baseline — CI uploads it
+# as a workflow artifact.
 bench-gate: bench-run
-	$(GO) run ./cmd/benchgate -baseline BENCH_BASELINE.json $(BENCHOUT)
+	$(GO) run ./cmd/benchgate -baseline BENCH_BASELINE.json -report $(BENCHREPORT) $(BENCHOUT)
 
 # Re-record the baseline after an intentional perf change; commit the
 # resulting BENCH_BASELINE.json in the same PR.
 bench-baseline: bench-run
 	$(GO) run ./cmd/benchgate -baseline BENCH_BASELINE.json -update $(BENCHOUT)
+
+# CPU and allocation profiles of the two load-bearing benchmarks: the
+# event-loop hot path (BenchmarkServer) and the full evaluation
+# (BenchmarkRunAllParallel). Inspect with:
+#   go tool pprof -top $(PROFILEDIR)/server.cpu.pprof
+#   go tool pprof -top -sample_index=alloc_objects $(PROFILEDIR)/runall.alloc.pprof
+profile:
+	mkdir -p $(PROFILEDIR)
+	$(GO) test -run='^$$' -bench='BenchmarkServer$$' -benchmem -benchtime=2s \
+		-cpuprofile=$(PROFILEDIR)/server.cpu.pprof \
+		-memprofile=$(PROFILEDIR)/server.alloc.pprof \
+		-o $(PROFILEDIR)/sim.test ./internal/sim/
+	$(GO) test -run='^$$' -bench='BenchmarkRunAllParallel' -benchmem -benchtime=1x \
+		-cpuprofile=$(PROFILEDIR)/runall.cpu.pprof \
+		-memprofile=$(PROFILEDIR)/runall.alloc.pprof \
+		-o $(PROFILEDIR)/beacongnn.test .
+	@echo "profiles written to $(PROFILEDIR)/ (test binaries kept alongside for symbolization)"
 
 # End-to-end beaconserved smoke: build, start, exercise the HTTP API,
 # SIGTERM, assert a clean drain. See ci/smoke_beaconserved.sh.

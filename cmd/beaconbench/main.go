@@ -8,6 +8,7 @@
 //	beaconbench -exp fig18 -quick   # shrunken sweep for a fast look
 //	beaconbench -exp all -parallel 8 # fan simulations over 8 workers
 //	beaconbench -exp all -quick -check # verify run invariants everywhere
+//	beaconbench -exp fig18 -full-resim # bypass all caches; resimulate from scratch
 //	beaconbench -list               # available experiment ids
 //	beaconbench -trace out.json -trace-platform BG-2   # request trace
 //

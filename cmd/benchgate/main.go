@@ -171,6 +171,95 @@ func gate(b *Baseline, measured map[string]Baseline1) (failures []string, report
 	return failures, rep.String()
 }
 
+// pctDelta formats a relative change benchstat-style ("+3.21%", "~" when
+// the base is zero).
+func pctDelta(old, new float64) string {
+	if old == 0 {
+		return "~"
+	}
+	return fmt.Sprintf("%+.2f%%", (new-old)/old*100)
+}
+
+// overheadSection reports the cost of enabled tracing explicitly: the
+// ServerTraced − Server delta in ns/op and allocs/op from this
+// measurement. Tracing must stay a hook-dispatch cost, not an
+// allocation source — a growing allocs delta here means span records
+// stopped being reused.
+func overheadSection(measured map[string]Baseline1) string {
+	const (
+		baseKey   = "beacongnn/internal/sim BenchmarkServer"
+		tracedKey = "beacongnn/internal/sim BenchmarkServerTraced"
+	)
+	base, okB := measured[baseKey]
+	traced, okT := measured[tracedKey]
+	if !okB || !okT {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "tracing overhead (BenchmarkServerTraced vs BenchmarkServer):\n")
+	fmt.Fprintf(&b, "  ns/op:     %.1f -> %.1f  (%+.1f, %s)\n",
+		base.NsPerOp, traced.NsPerOp, traced.NsPerOp-base.NsPerOp, pctDelta(base.NsPerOp, traced.NsPerOp))
+	fmt.Fprintf(&b, "  allocs/op: %.0f -> %.0f  (%+.0f)\n",
+		base.AllocsPerOp, traced.AllocsPerOp, traced.AllocsPerOp-base.AllocsPerOp)
+	return b.String()
+}
+
+// benchstatSection renders the gated set as a benchstat-style
+// comparison: old = the checked-in baseline, new = this measurement,
+// one table for time and one for allocations.
+func benchstatSection(b *Baseline, measured map[string]Baseline1) string {
+	keys := make([]string, 0, len(b.Benchmarks))
+	for k := range b.Benchmarks {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var rep strings.Builder
+	fmt.Fprintf(&rep, "%-60s %14s %14s %10s\n", "name", "old ns/op", "new ns/op", "delta")
+	for _, key := range keys {
+		got, ok := measured[key]
+		if !ok {
+			continue
+		}
+		base := b.Benchmarks[key]
+		fmt.Fprintf(&rep, "%-60s %14.1f %14.1f %10s\n", key, base.NsPerOp, got.NsPerOp, pctDelta(base.NsPerOp, got.NsPerOp))
+	}
+	fmt.Fprintf(&rep, "\n%-60s %14s %14s %10s\n", "name", "old allocs/op", "new allocs/op", "delta")
+	for _, key := range keys {
+		got, ok := measured[key]
+		if !ok {
+			continue
+		}
+		base := b.Benchmarks[key]
+		fmt.Fprintf(&rep, "%-60s %14.1f %14.1f %10s\n", key, base.AllocsPerOp, got.AllocsPerOp, pctDelta(base.AllocsPerOp, got.AllocsPerOp))
+	}
+	return rep.String()
+}
+
+// fullReport assembles the bench_report.txt artifact: the gate table,
+// the explicit tracing-overhead delta, the benchstat-style old-vs-new
+// comparison, and the verdict.
+func fullReport(b *Baseline, measured map[string]Baseline1, gateTable string, failures []string) string {
+	var rep strings.Builder
+	rep.WriteString(gateTable)
+	rep.WriteString("\n")
+	if s := overheadSection(measured); s != "" {
+		rep.WriteString(s)
+		rep.WriteString("\n")
+	}
+	rep.WriteString("baseline (old) vs this run (new):\n")
+	rep.WriteString(benchstatSection(b, measured))
+	rep.WriteString("\n")
+	if len(failures) == 0 {
+		fmt.Fprintf(&rep, "verdict: PASS (%d benchmarks within tolerance)\n", len(b.Benchmarks))
+	} else {
+		fmt.Fprintf(&rep, "verdict: FAIL (%d regressions)\n", len(failures))
+		for _, f := range failures {
+			fmt.Fprintf(&rep, "  FAIL %s\n", f)
+		}
+	}
+	return rep.String()
+}
+
 // update rewrites the baseline's gated entries from the measurement,
 // keeping tolerances and the gated set unchanged. A gated benchmark
 // missing from the measurement is an error.
@@ -195,6 +284,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	var (
 		baselinePath = fs.String("baseline", "BENCH_BASELINE.json", "baseline file to gate against")
 		doUpdate     = fs.Bool("update", false, "rewrite the baseline's medians from this measurement instead of gating")
+		reportPath   = fs.String("report", "", "also write a full report (gate table, tracing overhead, benchstat-style old-vs-new) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -261,6 +351,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 
 	failures, report := gate(&base, measured)
+	if *reportPath != "" {
+		if err := os.WriteFile(*reportPath, []byte(fullReport(&base, measured, report, failures)), 0o644); err != nil {
+			fmt.Fprintln(stderr, "benchgate:", err)
+			return 2
+		}
+	}
 	fmt.Fprint(stdout, report)
 	if len(failures) > 0 {
 		fmt.Fprintf(stderr, "benchgate: %d regression(s):\n", len(failures))

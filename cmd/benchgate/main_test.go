@@ -150,3 +150,53 @@ func TestRunEndToEndGateAndUpdate(t *testing.T) {
 		t.Fatalf("stdout: %s", out.String())
 	}
 }
+
+const serverBenchOutput = `pkg: beacongnn/internal/sim
+BenchmarkServer-8         	    2000	    600000 ns/op	     800 B/op	      27 allocs/op
+BenchmarkServerTraced-8   	    1800	    650000 ns/op	     810 B/op	      28 allocs/op
+PASS
+`
+
+func TestReportFileCarriesOverheadAndComparison(t *testing.T) {
+	dir := t.TempDir()
+	benchPath := filepath.Join(dir, "bench.out")
+	if err := os.WriteFile(benchPath, []byte(serverBenchOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	basePath := filepath.Join(dir, "baseline.json")
+	if err := os.WriteFile(basePath, []byte(`{
+  "ns_tolerance": 0.5,
+  "allocs_tolerance": 0.05,
+  "benchmarks": {
+    "beacongnn/internal/sim BenchmarkServer": {"ns_per_op": 620000, "allocs_per_op": 27},
+    "beacongnn/internal/sim BenchmarkServerTraced": {"ns_per_op": 660000, "allocs_per_op": 28}
+  }
+}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reportPath := filepath.Join(dir, "bench_report.txt")
+	var out, errOut strings.Builder
+	if code := run([]string{"-baseline", basePath, "-report", reportPath, benchPath}, nil, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d; stderr: %s", code, errOut.String())
+	}
+	raw, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := string(raw)
+	for _, want := range []string{
+		"tracing overhead (BenchmarkServerTraced vs BenchmarkServer)",
+		"allocs/op: 27 -> 28  (+1)",
+		"old ns/op",
+		"new allocs/op",
+		"verdict: PASS",
+	} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+	// The ns delta must be the measured difference, 600000 -> 650000.
+	if !strings.Contains(rep, "600000.0 -> 650000.0") {
+		t.Errorf("report does not carry the explicit ns overhead:\n%s", rep)
+	}
+}

@@ -10,7 +10,6 @@ import (
 	"fmt"
 	"io"
 	"sort"
-	"sync"
 
 	"beacongnn/internal/config"
 	"beacongnn/internal/dataset"
@@ -28,6 +27,14 @@ type Options struct {
 	Quick      bool // shrink sweeps for CI-speed runs
 	Workers    int  // concurrent simulations (0 = GOMAXPROCS, 1 = sequential)
 	Check      bool // verify run invariants on every simulation (-check)
+
+	// FullResim disables the engine's result memo and stage reuse
+	// (precomputed frontiers), forcing every requested simulation to run
+	// from scratch (-full-resim). Incremental and full runs are
+	// byte-identical by construction; this switch exists to prove it.
+	// Only applies to the private engine — a shared Engine is left as
+	// its owner configured it.
+	FullResim bool
 
 	// Ctx, when set, bounds every simulation the runners request:
 	// cancellation or deadline expiry aborts in-flight event loops and
@@ -77,6 +84,9 @@ func (o *Options) fill() {
 		o.eng = exp.New(o.Workers)
 		if o.Check {
 			o.eng.EnableChecks()
+		}
+		if o.FullResim {
+			o.eng.DisableMemo()
 		}
 	}
 	o.filled = true
@@ -177,6 +187,8 @@ func RunAll(o *Options, w io.Writer) error {
 // a stale instance. The cache is safe under the parallel engine:
 // concurrent requests for the same key materialize once, and distinct
 // keys materialize concurrently (throttled by the caller's engine).
+// Materialization is deterministic in its key, so the cache stays on
+// even under FullResim.
 type instKey struct {
 	name     string
 	nodes    int
@@ -184,16 +196,7 @@ type instKey struct {
 	seed     uint64
 }
 
-type instEntry struct {
-	done chan struct{}
-	inst *dataset.Instance
-	err  error
-}
-
-var (
-	instMu    sync.Mutex
-	instCache = map[instKey]*instEntry{}
-)
+var instCache = exp.NewStageCache[instKey, *dataset.Instance]()
 
 // instanceAt materializes (or fetches) a dataset instance for an
 // explicit page size and seed — sweeps that mutate either get their own
@@ -204,29 +207,29 @@ func (o *Options) instanceAt(name string, pageSize int, seed uint64) (*dataset.I
 	if err != nil {
 		return nil, err
 	}
-	key := instKey{name, o.ScaleNodes, pageSize, seed}
-	instMu.Lock()
-	ent, ok := instCache[key]
-	if ok {
-		instMu.Unlock()
-		<-ent.done
-		return ent.inst, ent.err
-	}
-	ent = &instEntry{done: make(chan struct{})}
-	instCache[key] = ent
-	instMu.Unlock()
-
-	o.engine().Throttle(func() {
-		ent.inst, ent.err = dataset.Materialize(d, o.ScaleNodes, pageSize, seed)
+	return instCache.Do(instKey{name, o.ScaleNodes, pageSize, seed}, func() (*dataset.Instance, error) {
+		var inst *dataset.Instance
+		var merr error
+		o.engine().Throttle(func() {
+			inst, merr = dataset.Materialize(d, o.ScaleNodes, pageSize, seed)
+		})
+		return inst, merr
 	})
-	close(ent.done)
-	return ent.inst, ent.err
 }
 
 func (o *Options) instance(name string) (*dataset.Instance, error) {
 	o.fill()
 	return o.instanceAt(name, o.Cfg.Flash.PageSize, o.Cfg.Seed)
 }
+
+// simTimeline is the utilization-timeline resolution every runner
+// requests. Timeline points only control how many utilization samples a
+// run retains — they never alter event scheduling or any printed number
+// (MeanDies/MeanChannels are exact integrals) — so a single shared
+// resolution is output-invariant while letting every figure share one
+// memo entry per (platform, dataset, config) instead of splitting the
+// cache over timeline variants.
+const simTimeline = 512
 
 // simulate runs one platform on a named dataset under the Options'
 // config, memoized and throttled by the engine.

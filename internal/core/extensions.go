@@ -39,11 +39,11 @@ func RunExtensions(o *Options, w io.Writer) error {
 		idle                  sim.Time
 	)
 	err := exp.Go(
-		func() (err error) { on, err = o.simulateCfg(platform.BG2, o.Cfg, "amazon", 0); return },
-		func() (err error) { off, err = o.simulateCfg(platform.BG2, pipeOff, "amazon", 0); return },
-		func() (err error) { con, err = o.simulateCfg(platform.BG2, coalOn, "reddit", 0); return },
-		func() (err error) { coff, err = o.simulateCfg(platform.BG2, coalOff, "reddit", 0); return },
-		func() (err error) { z, err = o.simulateCfg(platform.BG2, zipf, "amazon", 0); return },
+		func() (err error) { on, err = o.simulateCfg(platform.BG2, o.Cfg, "amazon", simTimeline); return },
+		func() (err error) { off, err = o.simulateCfg(platform.BG2, pipeOff, "amazon", simTimeline); return },
+		func() (err error) { con, err = o.simulateCfg(platform.BG2, coalOn, "reddit", simTimeline); return },
+		func() (err error) { coff, err = o.simulateCfg(platform.BG2, coalOff, "reddit", simTimeline); return },
+		func() (err error) { z, err = o.simulateCfg(platform.BG2, zipf, "amazon", simTimeline); return },
 		func() error {
 			inst, err := o.instance("amazon")
 			if err != nil {

@@ -47,7 +47,7 @@ func runRelSweep(o *Options, name string, pts []relPoint, kinds []platform.Kind)
 	flat, err := exp.Map(cells, func(c cell) (relCell, error) {
 		cfg := o.Cfg
 		pts[c.pt].Apply(&cfg)
-		r, err := o.simulateCfg(kinds[c.k], cfg, "amazon", 0)
+		r, err := o.simulateCfg(kinds[c.k], cfg, "amazon", simTimeline)
 		if err != nil {
 			return relCell{}, fmt.Errorf("%s %s=%s: %w", kinds[c.k], name, pts[c.pt].Label, err)
 		}

@@ -117,7 +117,7 @@ func BuildReport(o *Options) (*Report, error) {
 		},
 		// Fig 14 (+ utilization summaries on amazon).
 		func() error {
-			grid, err := o.simulateGrid(o.Cfg, datasetNames(), platform.All(), 0)
+			grid, err := o.simulateGrid(o.Cfg, datasetNames(), platform.All(), simTimeline)
 			if err != nil {
 				return err
 			}
@@ -161,7 +161,7 @@ func BuildReport(o *Options) (*Report, error) {
 		},
 		// Fig 19.
 		func() error {
-			results, err := o.simulateOn(o.Cfg, "amazon", platform.All(), 0)
+			results, err := o.simulateOn(o.Cfg, "amazon", platform.All(), simTimeline)
 			if err != nil {
 				return err
 			}
@@ -179,7 +179,7 @@ func BuildReport(o *Options) (*Report, error) {
 			cfg := o.Cfg
 			cfg.Flash.ReadLatency = 20 * sim.Microsecond
 			kinds := append([]platform.Kind{platform.CC}, platform.BGOnly()...)
-			grid, err := o.simulateGrid(cfg, datasetNames(), kinds, 0)
+			grid, err := o.simulateGrid(cfg, datasetNames(), kinds, simTimeline)
 			if err != nil {
 				return err
 			}

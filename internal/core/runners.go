@@ -88,7 +88,7 @@ func RunFig7(o *Options, w io.Writer) error {
 // afterwards from the ordered grid, so output is worker-count-invariant.
 func RunFig14(o *Options, w io.Writer) error {
 	o.fill()
-	grid, err := o.simulateGrid(o.Cfg, datasetNames(), platform.All(), 0)
+	grid, err := o.simulateGrid(o.Cfg, datasetNames(), platform.All(), simTimeline)
 	if err != nil {
 		return err
 	}
@@ -130,7 +130,7 @@ func RunFig14(o *Options, w io.Writer) error {
 func RunFig15(o *Options, w io.Writer) error {
 	o.fill()
 	kinds := []platform.Kind{platform.BGSP, platform.BGDGSP, platform.BG2}
-	grid, err := o.simulateGrid(o.Cfg, datasetNames(), kinds, 512)
+	grid, err := o.simulateGrid(o.Cfg, datasetNames(), kinds, simTimeline)
 	if err != nil {
 		return err
 	}
@@ -215,7 +215,7 @@ func RunFig15f(o *Options, w io.Writer) error {
 		metrics.PhaseDRAM:     1,
 		metrics.PhaseAccel:    1,
 	}
-	results, err := o.simulateOn(o.Cfg, "amazon", platform.All(), 0)
+	results, err := o.simulateOn(o.Cfg, "amazon", platform.All(), simTimeline)
 	if err != nil {
 		return err
 	}
@@ -250,7 +250,7 @@ func RunFig15f(o *Options, w io.Writer) error {
 func RunFig16(o *Options, w io.Writer) error {
 	o.fill()
 	results, err := o.simulateOn(o.Cfg, "amazon",
-		[]platform.Kind{platform.BG1, platform.BGDG, platform.BGSP, platform.BGDGSP, platform.BG2}, 0)
+		[]platform.Kind{platform.BG1, platform.BGDG, platform.BGSP, platform.BGDGSP, platform.BG2}, simTimeline)
 	if err != nil {
 		return err
 	}
@@ -272,7 +272,7 @@ func RunFig16(o *Options, w io.Writer) error {
 // RunFig17 reproduces Figure 17: mean per-command lifetime phases.
 func RunFig17(o *Options, w io.Writer) error {
 	o.fill()
-	results, err := o.simulateOn(o.Cfg, "amazon", platform.All(), 0)
+	results, err := o.simulateOn(o.Cfg, "amazon", platform.All(), simTimeline)
 	if err != nil {
 		return err
 	}
@@ -293,7 +293,7 @@ func RunFig17(o *Options, w io.Writer) error {
 // re-simulated every platform a second time just to build the bars.
 func RunFig19(o *Options, w io.Writer) error {
 	o.fill()
-	results, err := o.simulateOn(o.Cfg, "amazon", platform.All(), 0)
+	results, err := o.simulateOn(o.Cfg, "amazon", platform.All(), simTimeline)
 	if err != nil {
 		return err
 	}
@@ -330,7 +330,7 @@ func RunTraditional(o *Options, w io.Writer) error {
 	cfg.Flash.ReadLatency = 20 * sim.Microsecond
 
 	kinds := append([]platform.Kind{platform.CC}, platform.BGOnly()...)
-	grid, err := o.simulateGrid(cfg, datasetNames(), kinds, 0)
+	grid, err := o.simulateGrid(cfg, datasetNames(), kinds, simTimeline)
 	if err != nil {
 		return err
 	}

@@ -108,7 +108,7 @@ func RunSweep(o *Options, s Sweep) (map[string][]float64, error) {
 	flat, err := exp.Map(cells, func(c cell) (*platform.Result, error) {
 		cfg := o.Cfg
 		s.Points[c.pt].Apply(&cfg)
-		r, err := o.simulateCfg(kinds[c.k], cfg, "amazon", 0)
+		r, err := o.simulateCfg(kinds[c.k], cfg, "amazon", simTimeline)
 		if err != nil {
 			return nil, fmt.Errorf("%s %s=%s: %w", kinds[c.k], s.Name, s.Points[c.pt].Label, err)
 		}

@@ -115,6 +115,38 @@ func decodeSection(l Layout, page []byte, off int, typ byte, length int) (*Secti
 	return s, nil
 }
 
+// DecodeAll walks the page's section chain once and decodes every
+// section, in chain order. Pages are immutable between relocations, so
+// simulators cache this result instead of re-walking the chain on every
+// sampler invocation (FindSection decodes afresh each call).
+func DecodeAll(l Layout, page []byte) ([]*Section, error) {
+	if len(page) != l.PageSize {
+		return nil, fmt.Errorf("%w: page length %d != %d", ErrCorruptSection, len(page), l.PageSize)
+	}
+	var out []*Section
+	off := 0
+	for off+commonHeaderLen <= l.PageSize {
+		typ := page[off]
+		if typ == SectionTypeEnd {
+			break
+		}
+		if typ != SectionTypePrimary && typ != SectionTypeSecondary {
+			return nil, fmt.Errorf("%w: type byte %#x at offset %d", ErrBadSectionType, typ, off)
+		}
+		length := getU16(page, off+2)
+		if length < commonHeaderLen || off+length > l.PageSize {
+			return nil, fmt.Errorf("%w: length %d at offset %d", ErrCorruptSection, length, off)
+		}
+		s, err := decodeSection(l, page, off, typ, length)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+		off += length
+	}
+	return out, nil
+}
+
 // SectionsInPage counts the valid sections in a page.
 func SectionsInPage(l Layout, page []byte) (int, error) {
 	if len(page) != l.PageSize {

@@ -14,6 +14,7 @@ import (
 
 	"beacongnn/internal/config"
 	"beacongnn/internal/fault"
+	"beacongnn/internal/pool"
 	"beacongnn/internal/sim"
 )
 
@@ -199,29 +200,85 @@ func (b *Backend) SensePage(page uint32, dieExtra sim.Time, senseStart func(sim.
 			b.OnRetrySense(out.RetrySenses)
 		}
 	}
-	arrived := b.k.Now()
-	b.dies[die].SubmitFull(service, func(start sim.Time) {
-		b.WaitStats.Observe(start - arrived)
-		if senseStart != nil {
-			senseStart(start)
-		}
-	}, func() {
-		if out.ExtraDieTime > 0 && b.tracer != nil {
-			end := b.k.Now()
-			b.tracer.ServerSpan("flash.retry", die, end-out.ExtraDieTime, end-out.ExtraDieTime, end)
-		}
-		if dieExtra <= 0 {
-			if done != nil {
-				done(out)
-			}
-			return
-		}
-		if done == nil {
-			b.samplers[die].Submit(dieExtra, nil)
-			return
-		}
-		b.samplers[die].Submit(dieExtra, func() { done(out) })
+	op := sensePool.Get()
+	op.b, op.die, op.dieExtra, op.out = b, die, dieExtra, out
+	op.arrived = b.k.Now()
+	op.senseStart, op.done = senseStart, done
+	b.dies[die].SubmitFull(service, op.fnStart, op.fnDone)
+}
+
+// senseOp is the pooled per-sense state machine: it replaces the closure
+// ladder SensePage allocated per request (service start/done plus the
+// sampler hand-off) with continuations bound once per pooled object.
+type senseOp struct {
+	b          *Backend
+	die        int
+	dieExtra   sim.Time
+	arrived    sim.Time
+	out        fault.Outcome
+	senseStart func(sim.Time)
+	done       func(fault.Outcome)
+
+	fnStart   func(sim.Time)
+	fnDone    func()
+	fnSampler func()
+}
+
+// sensePool is wired in init: the constructor references senseOp methods
+// whose release path references the pool back, which a package-level
+// initializer expression would reject as an initialization cycle.
+var sensePool *pool.Pool[senseOp]
+
+func init() {
+	sensePool = pool.New(func() *senseOp {
+		op := &senseOp{}
+		op.fnStart = op.onStart
+		op.fnDone = op.onDone
+		op.fnSampler = op.onSampler
+		return op
 	})
+}
+
+func (op *senseOp) release() {
+	op.b = nil
+	op.senseStart = nil
+	op.done = nil
+	sensePool.Put(op)
+}
+
+func (op *senseOp) onStart(start sim.Time) {
+	op.b.WaitStats.Observe(start - op.arrived)
+	if op.senseStart != nil {
+		op.senseStart(start)
+	}
+}
+
+func (op *senseOp) onDone() {
+	b := op.b
+	if op.out.ExtraDieTime > 0 && b.tracer != nil {
+		end := b.k.Now()
+		b.tracer.ServerSpan("flash.retry", op.die, end-op.out.ExtraDieTime, end-op.out.ExtraDieTime, end)
+	}
+	if op.dieExtra <= 0 {
+		done, out := op.done, op.out
+		op.release()
+		if done != nil {
+			done(out)
+		}
+		return
+	}
+	if op.done == nil {
+		b.samplers[op.die].Submit(op.dieExtra, nil)
+		op.release()
+		return
+	}
+	b.samplers[op.die].Submit(op.dieExtra, op.fnSampler)
+}
+
+func (op *senseOp) onSampler() {
+	done, out := op.done, op.out
+	op.release()
+	done(out)
 }
 
 // Transfer moves n bytes over the page's channel bus (plus the fixed

@@ -20,12 +20,14 @@ type Histogram struct {
 	max     sim.Time
 }
 
-// bucketOf maps a duration to a bucket: ~18 buckets per decade
-// (bucket = floor(log1.15(ns))), clamped to the array.
-func bucketOf(d sim.Time) int {
-	if d <= 0 {
-		return 0
-	}
+// bucketBound[b] is the smallest duration that falls in bucket b (or a
+// later one), derived in init from the defining floor(log1.15(ns))
+// formula so the integer lookup matches it exactly. Observe sits on the
+// per-event hot path; a binary search over 128 precomputed boundaries
+// replaces two math.Log calls per observation.
+var bucketBound [128]sim.Time
+
+func logBucket(d sim.Time) int {
 	b := int(math.Log(float64(d)) / math.Log(1.15))
 	if b < 0 {
 		b = 0
@@ -34,6 +36,40 @@ func bucketOf(d sim.Time) int {
 		b = 127
 	}
 	return b
+}
+
+func init() {
+	for b := 1; b < 128; b++ {
+		d := sim.Time(math.Ceil(math.Pow(1.15, float64(b))))
+		// Walk to the exact first integer duration the float formula
+		// assigns to bucket b, absorbing any rounding slop.
+		for d > 1 && logBucket(d-1) >= b {
+			d--
+		}
+		for logBucket(d) < b {
+			d++
+		}
+		bucketBound[b] = d
+	}
+}
+
+// bucketOf maps a duration to a bucket: ~18 buckets per decade
+// (bucket = floor(log1.15(ns))), clamped to the array.
+func bucketOf(d sim.Time) int {
+	if d <= 0 {
+		return 0
+	}
+	// Largest b with bucketBound[b] <= d.
+	lo, hi := 0, 127
+	for lo < hi {
+		mid := (lo + hi + 1) >> 1
+		if bucketBound[mid] <= d {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
 }
 
 // bucketLow returns the lower bound of bucket b.

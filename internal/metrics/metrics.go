@@ -29,31 +29,60 @@ const (
 	PhaseECC        Phase = "ecc"               // soft-decode + uncorrectable recovery
 )
 
+// numPhases is the number of distinct breakdown phases; phaseIndex maps
+// each Phase constant to its slot in the collector's fixed arrays. The
+// request path charges phases on nearly every event, so the accumulators
+// are arrays indexed by a string-switch instead of maps — the switch
+// compiles to a length+prefix dispatch with no hashing or allocation.
+const numPhases = 10
+
+func phaseIndex(p Phase) int {
+	switch p {
+	case PhaseHost:
+		return 0
+	case PhasePCIe:
+		return 1
+	case PhaseFirmware:
+		return 2
+	case PhaseWaitBefore:
+		return 3
+	case PhaseFlash:
+		return 4
+	case PhaseWaitAfter:
+		return 5
+	case PhaseChannel:
+		return 6
+	case PhaseDRAM:
+		return 7
+	case PhaseAccel:
+		return 8
+	case PhaseECC:
+		return 9
+	}
+	return -1
+}
+
 // Collector gathers all run measurements. Not safe for concurrent use;
 // the simulation kernel is single-threaded.
 type Collector struct {
-	phase     map[Phase]sim.Time
-	phaseHist map[Phase]*Histogram // per-event duration distributions
+	phase     [numPhases]sim.Time
+	phaseSet  [numPhases]bool       // AddPhase touched the slot (0-time phases still report)
+	phaseHist [numPhases]*Histogram // per-event duration distributions
 
 	cmdCount   uint64
-	cmdPhases  map[Phase]sim.Time // summed per-command lifetime phases (Fig. 17)
+	cmdPhases  [numPhases]sim.Time // summed per-command lifetime phases (Fig. 17)
 	cmdLife    sim.Time
-	cmdHist    Histogram        // lifetime distribution (tail latencies)
-	hopFirst   map[int]sim.Time // hop id → first command start
-	hopLast    map[int]sim.Time // hop id → last command completion
+	cmdHist    Histogram  // lifetime distribution (tail latencies)
+	hopFirst   []sim.Time // hop id → first command start
+	hopLast    []sim.Time // hop id → last command completion
+	hopSeen    []bool
 	targetsRun int
 	batchesRun int
 }
 
 // NewCollector returns an empty collector.
 func NewCollector() *Collector {
-	return &Collector{
-		phase:     make(map[Phase]sim.Time),
-		phaseHist: make(map[Phase]*Histogram),
-		cmdPhases: make(map[Phase]sim.Time),
-		hopFirst:  make(map[int]sim.Time),
-		hopLast:   make(map[int]sim.Time),
-	}
+	return &Collector{}
 }
 
 // AddPhase accumulates time into an end-to-end breakdown phase and
@@ -62,28 +91,49 @@ func (c *Collector) AddPhase(p Phase, d sim.Time) {
 	if d < 0 {
 		panic(fmt.Sprintf("metrics: negative phase time %v for %s", d, p))
 	}
-	c.phase[p] += d
-	c.observePhase(p, d)
+	i := phaseIndex(p)
+	if i < 0 {
+		panic(fmt.Sprintf("metrics: unknown phase %q", p))
+	}
+	c.phase[i] += d
+	c.phaseSet[i] = true
+	c.observePhase(i, d)
 }
 
-func (c *Collector) observePhase(p Phase, d sim.Time) {
-	h, ok := c.phaseHist[p]
-	if !ok {
+func (c *Collector) observePhase(i int, d sim.Time) {
+	h := c.phaseHist[i]
+	if h == nil {
 		h = &Histogram{}
-		c.phaseHist[p] = h
+		c.phaseHist[i] = h
 	}
 	h.Observe(d)
 }
 
-// Phase returns a phase's accumulated time.
-func (c *Collector) Phase(p Phase) sim.Time { return c.phase[p] }
+// phaseByIndex is the reverse of phaseIndex, for rendering.
+var phaseByIndex = [numPhases]Phase{
+	PhaseHost, PhasePCIe, PhaseFirmware, PhaseWaitBefore, PhaseFlash,
+	PhaseWaitAfter, PhaseChannel, PhaseDRAM, PhaseAccel, PhaseECC,
+}
 
-// PhaseBreakdown returns phases sorted by descending time plus the total.
+// Phase returns a phase's accumulated time.
+func (c *Collector) Phase(p Phase) sim.Time {
+	i := phaseIndex(p)
+	if i < 0 {
+		return 0
+	}
+	return c.phase[i]
+}
+
+// PhaseBreakdown returns phases sorted by descending time plus the
+// total. Only phases that were ever charged appear, even at zero time.
 func (c *Collector) PhaseBreakdown() ([]PhaseShare, sim.Time) {
 	var total sim.Time
-	out := make([]PhaseShare, 0, len(c.phase))
-	for p, t := range c.phase {
-		out = append(out, PhaseShare{Phase: p, Time: t})
+	out := make([]PhaseShare, 0, numPhases)
+	for i, t := range c.phase {
+		if !c.phaseSet[i] {
+			continue
+		}
+		out = append(out, PhaseShare{Phase: phaseByIndex[i], Time: t})
 		total += t
 	}
 	for i := range out {
@@ -119,10 +169,13 @@ type PhaseQuantile struct {
 // PhaseQuantiles returns the per-phase p50/p95/p99 of individual event
 // durations, sorted by phase name for deterministic output.
 func (c *Collector) PhaseQuantiles() []PhaseQuantile {
-	out := make([]PhaseQuantile, 0, len(c.phaseHist))
-	for p, h := range c.phaseHist {
+	out := make([]PhaseQuantile, 0, numPhases)
+	for i, h := range c.phaseHist {
+		if h == nil {
+			continue
+		}
 		out = append(out, PhaseQuantile{
-			Phase: p, Count: h.Count(),
+			Phase: phaseByIndex[i], Count: h.Count(),
 			P50: h.Quantile(0.5), P95: h.Quantile(0.95), P99: h.Quantile(0.99),
 		})
 	}
@@ -145,18 +198,18 @@ func PhaseQuantileTable(qs []PhaseQuantile) string {
 // frontend to result availability at the frontend.
 func (c *Collector) CommandLifetime(waitBefore, flash, waitAfter, channel sim.Time) {
 	c.cmdCount++
-	c.cmdPhases[PhaseWaitBefore] += waitBefore
-	c.cmdPhases[PhaseFlash] += flash
-	c.cmdPhases[PhaseWaitAfter] += waitAfter
-	c.cmdPhases[PhaseChannel] += channel
+	c.cmdPhases[phaseIndex(PhaseWaitBefore)] += waitBefore
+	c.cmdPhases[phaseIndex(PhaseFlash)] += flash
+	c.cmdPhases[phaseIndex(PhaseWaitAfter)] += waitAfter
+	c.cmdPhases[phaseIndex(PhaseChannel)] += channel
 	life := waitBefore + flash + waitAfter + channel
 	c.cmdLife += life
 	c.cmdHist.Observe(life)
 	// The wait phases have no AddPhase call sites (they are queueing, not
 	// charged work), so their distributions are fed here; flash and channel
 	// are observed by the AddPhase calls next to every CommandLifetime.
-	c.observePhase(PhaseWaitBefore, waitBefore)
-	c.observePhase(PhaseWaitAfter, waitAfter)
+	c.observePhase(phaseIndex(PhaseWaitBefore), waitBefore)
+	c.observePhase(phaseIndex(PhaseWaitAfter), waitAfter)
 }
 
 // CommandHistogram exposes the lifetime distribution.
@@ -165,12 +218,12 @@ func (c *Collector) CommandHistogram() *Histogram { return &c.cmdHist }
 // CommandBreakdown returns the mean per-command phase durations and the
 // mean total lifetime.
 func (c *Collector) CommandBreakdown() (map[Phase]sim.Time, sim.Time) {
-	out := make(map[Phase]sim.Time, len(c.cmdPhases))
+	out := make(map[Phase]sim.Time, 4)
 	if c.cmdCount == 0 {
 		return out, 0
 	}
-	for p, t := range c.cmdPhases {
-		out[p] = t / sim.Time(c.cmdCount)
+	for _, p := range [...]Phase{PhaseWaitBefore, PhaseFlash, PhaseWaitAfter, PhaseChannel} {
+		out[p] = c.cmdPhases[phaseIndex(p)] / sim.Time(c.cmdCount)
 	}
 	return out, c.cmdLife / sim.Time(c.cmdCount)
 }
@@ -178,16 +231,28 @@ func (c *Collector) CommandBreakdown() (map[Phase]sim.Time, sim.Time) {
 // Commands returns how many flash commands completed.
 func (c *Collector) Commands() uint64 { return c.cmdCount }
 
+// growHops ensures the hop-indexed slices cover hop.
+func (c *Collector) growHops(hop int) {
+	for len(c.hopSeen) <= hop {
+		c.hopSeen = append(c.hopSeen, false)
+		c.hopFirst = append(c.hopFirst, 0)
+		c.hopLast = append(c.hopLast, 0)
+	}
+}
+
 // HopStart marks a sampling command of the given hop starting.
 func (c *Collector) HopStart(hop int, at sim.Time) {
-	if first, ok := c.hopFirst[hop]; !ok || at < first {
+	c.growHops(hop)
+	if !c.hopSeen[hop] || at < c.hopFirst[hop] {
 		c.hopFirst[hop] = at
 	}
+	c.hopSeen[hop] = true
 }
 
 // HopEnd marks a sampling command of the given hop completing.
 func (c *Collector) HopEnd(hop int, at sim.Time) {
-	if last, ok := c.hopLast[hop]; !ok || at > last {
+	c.growHops(hop)
+	if at > c.hopLast[hop] {
 		c.hopLast[hop] = at
 	}
 }
@@ -201,13 +266,11 @@ type HopSpan struct {
 // HopTimeline returns spans ordered by hop. Overlapping spans are the
 // signature of out-of-order sampling; disjoint ones, of hop barriers.
 func (c *Collector) HopTimeline() []HopSpan {
-	hops := make([]int, 0, len(c.hopFirst))
-	for h := range c.hopFirst {
-		hops = append(hops, h)
-	}
-	sort.Ints(hops)
-	out := make([]HopSpan, 0, len(hops))
-	for _, h := range hops {
+	out := make([]HopSpan, 0, len(c.hopSeen))
+	for h, seen := range c.hopSeen {
+		if !seen {
+			continue
+		}
 		out = append(out, HopSpan{Hop: h, First: c.hopFirst[h], Last: c.hopLast[h]})
 	}
 	return out

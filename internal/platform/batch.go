@@ -24,18 +24,48 @@ type batchState struct {
 	featBytes   int64
 	done        func()
 	finished    bool
+
+	// Scratch buffers reused across the batch's reads. They are only
+	// ever consumed synchronously by their producer's caller, so one of
+	// each per batch suffices (the kernel is single-threaded).
+	pageScratch  []uint32         // page fan-out lists (appendPages)
+	childScratch []nodeRead       // drawChildren output
+	coalesce     [][]graph.NodeID // BG-DG secondary coalescing, by index
 }
 
 func (s *System) newBatch(id int, done func()) *batchState {
 	hops := s.cfg.GNN.Hops
-	return &batchState{
-		sys: s, id: int32(id),
-		hopOut:   make([]int, hops+1),
-		pendDie:  make([][]sampler.Command, hops+2),
-		pendPage: make([][]nodeRead, hops+2),
-		fired:    make([]bool, hops+2),
-		done:     done,
+	b := batchPool.Get()
+	b.sys, b.id, b.done = s, int32(id), done
+	b.outstanding, b.featBytes, b.finished = 0, 0, false
+	b.hopOut = resizeZero(b.hopOut, hops+1)
+	b.pendDie = resizeZero(b.pendDie, hops+2)
+	b.pendPage = resizeZero(b.pendPage, hops+2)
+	b.fired = resizeZero(b.fired, hops+2)
+	return b
+}
+
+// release returns the batch to the pool once finish has run its
+// completion callback; nothing references the batch past that point
+// (outstanding hit zero, so no command in flight can name it).
+func (b *batchState) release() {
+	b.sys, b.done = nil, nil
+	for i := range b.pendDie {
+		b.pendDie[i] = nil
 	}
+	for i := range b.pendPage {
+		b.pendPage[i] = nil
+	}
+	b.pageScratch = b.pageScratch[:0]
+	cs := b.childScratch[:cap(b.childScratch)]
+	for i := range cs {
+		cs[i] = nodeRead{} // drop secChildren references
+	}
+	b.childScratch = cs[:0]
+	for i := range b.coalesce {
+		b.coalesce[i] = nil
+	}
+	batchPool.Put(b)
 }
 
 // prepBatch starts batch i's data preparation and calls done when every
@@ -50,14 +80,7 @@ func (s *System) prepBatch(i int, done func()) {
 			panic(fmt.Sprintf("platform: target source returned %d targets, want %d", len(targets), s.cfg.GNN.BatchSize))
 		}
 	} else {
-		targets = make([]graph.NodeID, s.cfg.GNN.BatchSize)
-		for t := range targets {
-			if skew := s.cfg.GNN.TargetSkew; skew > 0 {
-				targets[t] = graph.NodeID(s.rng.Zipf(s.inst.Graph.NumNodes(), skew))
-			} else {
-				targets[t] = graph.NodeID(s.rng.Intn(s.inst.Graph.NumNodes()))
-			}
-		}
+		targets = drawTargets(s.rng, s.inst.Graph.NumNodes(), s.cfg.GNN)
 	}
 	// Mini-batch start (Section VI-D): the host looks up each target's
 	// primary-section address (or LPA), sends one customized NVMe
@@ -138,6 +161,7 @@ func (b *batchState) finish() {
 	s.coll.BatchDone()
 	delete(s.batches, b.id)
 	b.done()
+	b.release()
 }
 
 // barrier runs the inter-hop host round trip (Challenge 1, Fig. 5):
@@ -200,6 +224,8 @@ func (b *batchState) registerChildDie(c sampler.Command) (dispatchNow bool) {
 // dispatchDie routes one sampling command toward its die. In BG-2 the
 // hardware router carries it; otherwise the firmware scheduler processes
 // it first (FlashCmd cost, plus FTL translation without DirectGraph).
+// The per-command chain (fw → issue → exec → DMA → parse) lives in a
+// pooled dieOp (pools.go).
 func (b *batchState) dispatchDie(cmd sampler.Command) {
 	s := b.sys
 	if cmd.Created == 0 {
@@ -213,31 +239,49 @@ func (b *batchState) dispatchDie(cmd sampler.Command) {
 	if !s.caps.DirectGraph {
 		cost += s.cfg.Firmware.TranslateCost
 	}
+	op := dieOpPool.Get()
+	op.b, op.cmd = b, cmd
 	s.fwPhase(cost)
-	s.fw.Do(cost, func() {
-		page := s.resolvePage(s.layout.Page(cmd.Addr))
-		s.backend.IssueCommand(page, func() {
-			b.execDie(cmd, nil, func(res *sampler.Result) {
-				// Results DMA into DRAM and the firmware parses them.
-				s.dramWrite(res.BusBytes(), func() {
-					s.fwPhase(s.cfg.Firmware.ResultParseCost)
-					s.fw.ParseResult(func() {
-						children := b.accountDie(cmd, res)
-						for _, c := range children {
-							b.dispatchDie(c)
-						}
-						b.stepDone(cmd.Hop)
-					})
-				})
-			})
-		})
-	})
+	s.fw.Do(cost, op.fnFwDone)
+}
+
+func (op *dieOp) onFwDone() {
+	s := op.b.sys
+	page := s.resolvePage(s.layout.Page(op.cmd.Addr))
+	s.backend.IssueCommand(page, op.fnIssued)
+}
+
+func (op *dieOp) onIssued() {
+	op.b.execDie(op.cmd, nil, op.fnExecDone)
+}
+
+func (op *dieOp) onExecDone(res *sampler.Result) {
+	// Results DMA into DRAM and the firmware parses them.
+	op.res = res
+	op.b.sys.dramWrite(res.BusBytes(), op.fnDramDone)
+}
+
+func (op *dieOp) onDramDone() {
+	s := op.b.sys
+	s.fwPhase(s.cfg.Firmware.ResultParseCost)
+	s.fw.ParseResult(op.fnParsed)
+}
+
+func (op *dieOp) onParsed() {
+	b, cmd, res := op.b, op.cmd, op.res
+	op.release()
+	children := b.accountDie(cmd, res)
+	for _, c := range children {
+		b.dispatchDie(c)
+	}
+	b.stepDone(cmd.Hop)
 }
 
 // execDie performs the die-level read + sample + result transfer.
 // onSense (optional) fires when the die's array is free again (data in
 // the cache register); onDone receives the functional sampler result
-// after the channel releases it.
+// after the channel releases it. Per-command state lives in a pooled
+// execOp (pools.go).
 func (b *batchState) execDie(cmd sampler.Command, onSense func(), onDone func(*sampler.Result)) {
 	s := b.sys
 	page := s.layout.Page(cmd.Addr)
@@ -246,51 +290,72 @@ func (b *batchState) execDie(cmd sampler.Command, onSense func(), onDone func(*s
 		draws = s.cfg.GNN.Fanout
 	}
 	extra := s.cfg.DieSampler.Fixed + sim.Time(draws)*s.cfg.DieSampler.PerDraw
-	var senseStart, senseEnd sim.Time
-	s.senseManaged(page, extra, func(at sim.Time) {
-		senseStart = at
-		if cmd.Batch == 0 {
-			// Hop timelines (Fig. 16) track a single batch; pipelined
-			// batches would blur the spans together.
-			s.coll.HopStart(cmd.Hop, at)
-		}
-	}, func(final uint32) {
-		senseEnd = s.k.Now()
-		pageBytes, ok := s.build.Pages[final]
-		if !ok {
-			// A command addressing a hole in the image is recoverable at
-			// the run level (the batch cannot finish, the run fails with
-			// context) — not a process-crashing invariant.
-			s.fail(fmt.Errorf("platform: command addresses unmaterialized page %d (batch %d hop %d)", final, cmd.Batch, cmd.Hop))
-			return
-		}
-		die := s.backend.Geometry().GlobalDie(final)
-		res, err := sampler.Execute(s.layout, pageBytes, cmd, s.samplerCfg, s.dieTRNG[die])
-		if err != nil {
-			// Section VI-E: the sampler aborts and control returns to
-			// firmware. The run fails with context instead of crashing.
-			s.fail(fmt.Errorf("platform: die sampler failed on page %d: %w", final, err))
-			return
-		}
-		s.meter.FlashSampleOp()
-		if onSense != nil {
-			onSense()
-		}
-		n := res.BusBytes()
-		s.backend.Transfer(final, n, func() {
-			xfer := s.cfg.Flash.TransferTime(n)
-			waitAfter := s.k.Now() - senseEnd - xfer
-			if waitAfter < 0 {
-				waitAfter = 0
-			}
-			wb := senseStart - cmd.Created
-			fl := senseEnd - senseStart
-			s.coll.CommandLifetime(wb, fl, waitAfter, xfer)
-			s.coll.AddPhase(metrics.PhaseFlash, fl)
-			s.coll.AddPhase(metrics.PhaseChannel, xfer)
-			onDone(res)
-		})
-	})
+	op := execOpPool.Get()
+	op.b, op.cmd, op.onSense, op.onDone = b, cmd, onSense, onDone
+	s.senseManaged(page, extra, op.fnSenseStart, op.fnSenseDone)
+}
+
+func (op *execOp) onSenseStart(at sim.Time) {
+	op.senseStart = at
+	if op.cmd.Batch == 0 {
+		// Hop timelines (Fig. 16) track a single batch; pipelined
+		// batches would blur the spans together.
+		op.b.sys.coll.HopStart(op.cmd.Hop, at)
+	}
+}
+
+func (op *execOp) onSenseDone(final uint32) {
+	s := op.b.sys
+	op.senseEnd = s.k.Now()
+	pageBytes, ok := s.build.Pages[final]
+	if !ok {
+		// A command addressing a hole in the image is recoverable at
+		// the run level (the batch cannot finish, the run fails with
+		// context) — not a process-crashing invariant.
+		cmd := op.cmd
+		op.release()
+		s.fail(fmt.Errorf("platform: command addresses unmaterialized page %d (batch %d hop %d)", final, cmd.Batch, cmd.Hop))
+		return
+	}
+	die := s.backend.Geometry().GlobalDie(final)
+	sec, err := s.cachedSection(final, pageBytes, s.layout.Section(op.cmd.Addr))
+	if err != nil {
+		op.release()
+		err = fmt.Errorf("sampler: %w", err)
+		s.fail(fmt.Errorf("platform: die sampler failed on page %d: %w", final, err))
+		return
+	}
+	res, err := sampler.ExecuteDecoded(s.layout, sec, op.cmd, s.samplerCfg, s.dieTRNG[die])
+	if err != nil {
+		// Section VI-E: the sampler aborts and control returns to
+		// firmware. The run fails with context instead of crashing.
+		op.release()
+		s.fail(fmt.Errorf("platform: die sampler failed on page %d: %w", final, err))
+		return
+	}
+	op.res = res
+	s.meter.FlashSampleOp()
+	if op.onSense != nil {
+		op.onSense()
+	}
+	s.backend.Transfer(final, res.BusBytes(), op.fnXferDone)
+}
+
+func (op *execOp) onXferDone() {
+	s := op.b.sys
+	xfer := s.cfg.Flash.TransferTime(op.res.BusBytes())
+	waitAfter := s.k.Now() - op.senseEnd - xfer
+	if waitAfter < 0 {
+		waitAfter = 0
+	}
+	wb := op.senseStart - op.cmd.Created
+	fl := op.senseEnd - op.senseStart
+	s.coll.CommandLifetime(wb, fl, waitAfter, xfer)
+	s.coll.AddPhase(metrics.PhaseFlash, fl)
+	s.coll.AddPhase(metrics.PhaseChannel, xfer)
+	onDone, res := op.onDone, op.res
+	op.release()
+	onDone(res)
 }
 
 // accountDie updates counters for a completed die command and returns
@@ -309,7 +374,7 @@ func (b *batchState) accountDie(cmd sampler.Command, res *sampler.Result) []samp
 		if s.onSample != nil && !c.Secondary {
 			// The command's address names the child's primary section;
 			// decode the child id for the observer.
-			if sec, err := s.build.ReadSection(c.Addr); err == nil {
+			if sec, err := s.cachedSectionAddr(c.Addr); err == nil {
 				s.onSample(res.Node, sec.NodeID, c.Hop)
 			}
 		}

@@ -40,64 +40,81 @@ func (s *System) resolvePage(p uint32) uint32 {
 // senseManaged senses a DirectGraph page with fault handling. done
 // receives the final physical page the data was read from, for the
 // page-bytes lookup and the channel transfer. With no injector the event
-// sequence is identical to backend.ReadPage.
+// sequence is identical to backend.ReadPage. The per-sense state lives
+// in a pooled senseCtx whose continuations are bound once (pools.go).
 func (s *System) senseManaged(page uint32, dieExtra sim.Time, senseStart func(sim.Time), done func(final uint32)) {
 	if s.chk != nil {
 		s.chk.CountSenseRequest()
 	}
-	s.senseAttempt(page, dieExtra, senseStart, done, 0, 0)
+	c := senseCtxPool.Get()
+	c.s, c.page, c.dieExtra = s, page, dieExtra
+	c.senseStart, c.done = senseStart, done
+	c.attempt, c.deadline = 0, 0
+	s.senseAttempt(c)
 }
 
-func (s *System) senseAttempt(page uint32, dieExtra sim.Time, senseStart func(sim.Time), done func(final uint32), attempt int, deadline sim.Time) {
-	if s.chk != nil && attempt > 0 {
+func (s *System) senseAttempt(c *senseCtx) {
+	if s.chk != nil && c.attempt > 0 {
 		// A retry re-sense: accounted on the recovery side of the
 		// flash.conservation ledger.
 		s.chk.CountRecoverySense()
 	}
-	rp := s.resolvePage(page)
-	s.backend.SensePage(rp, dieExtra, senseStart, func(out fault.Outcome) {
-		switch out.Class {
-		case fault.Clean, fault.Retry:
-			// Re-resolve: a concurrent recovery may have moved the data
-			// between classification and completion.
-			done(s.resolvePage(page))
-		case fault.SoftDecode:
-			s.coll.AddPhase(metrics.PhaseECC, out.FirmwareTime)
-			s.fw.ECCDecode(out.FirmwareTime, func() { done(s.resolvePage(page)) })
-		default: // fault.Uncorrectable
-			fc := s.cfg.Fault
-			if attempt == 0 && fc.CmdDeadline > 0 {
-				deadline = s.k.Now() + fc.CmdDeadline
-			}
-			// Re-sensing a dead die cannot succeed; go straight to
-			// recovery. Otherwise retry with exponential backoff while
-			// attempts and the command deadline allow.
-			if !out.DieDead && attempt < fc.MaxRecoveryAttempts {
-				backoff := fc.RetryBackoff << uint(attempt)
-				if deadline == 0 || s.k.Now()+backoff <= deadline {
-					s.k.After(backoff, func() {
-						s.senseAttempt(page, dieExtra, senseStart, done, attempt+1, deadline)
-					})
-					return
-				}
-			}
-			if err := s.recoverPage(rp, out.DieDead); err != nil {
-				s.fail(err)
+	c.rp = s.resolvePage(c.page)
+	s.backend.SensePage(c.rp, c.dieExtra, c.senseStart, c.fnOutcome)
+}
+
+// onOutcome is senseCtx's bound SensePage continuation: the firmware
+// recovery ladder of Section VI-E. The clean path releases the context
+// immediately; the cold fault paths may keep it alive across retries.
+func (c *senseCtx) onOutcome(out fault.Outcome) {
+	s := c.s
+	switch out.Class {
+	case fault.Clean, fault.Retry:
+		// Re-resolve: a concurrent recovery may have moved the data
+		// between classification and completion.
+		done, page := c.done, c.page
+		c.release()
+		done(s.resolvePage(page))
+	case fault.SoftDecode:
+		s.coll.AddPhase(metrics.PhaseECC, out.FirmwareTime)
+		done, page := c.done, c.page
+		c.release()
+		s.fw.ECCDecode(out.FirmwareTime, func() { done(s.resolvePage(page)) })
+	default: // fault.Uncorrectable
+		fc := s.cfg.Fault
+		if c.attempt == 0 && fc.CmdDeadline > 0 {
+			c.deadline = s.k.Now() + fc.CmdDeadline
+		}
+		// Re-sensing a dead die cannot succeed; go straight to
+		// recovery. Otherwise retry with exponential backoff while
+		// attempts and the command deadline allow.
+		if !out.DieDead && c.attempt < fc.MaxRecoveryAttempts {
+			backoff := fc.RetryBackoff << uint(c.attempt)
+			if c.deadline == 0 || s.k.Now()+backoff <= c.deadline {
+				c.attempt++
+				s.k.After(backoff, c.fnRetry)
 				return
 			}
-			// The data now lives on a healthy spare (or relocated) page;
-			// one final sense completes the command as a degraded read.
-			s.inj.NoteDegraded()
-			s.coll.AddPhase(metrics.PhaseECC, out.ExtraDieTime)
-			if s.chk != nil {
-				s.chk.CountRecoverySense()
-			}
-			final := s.resolvePage(page)
-			s.backend.SensePage(final, dieExtra, senseStart, func(fault.Outcome) {
-				done(s.resolvePage(page))
-			})
 		}
-	})
+		if err := s.recoverPage(c.rp, out.DieDead); err != nil {
+			c.release()
+			s.fail(err)
+			return
+		}
+		// The data now lives on a healthy spare (or relocated) page;
+		// one final sense completes the command as a degraded read.
+		s.inj.NoteDegraded()
+		s.coll.AddPhase(metrics.PhaseECC, out.ExtraDieTime)
+		if s.chk != nil {
+			s.chk.CountRecoverySense()
+		}
+		done, page, dieExtra, senseStart := c.done, c.page, c.dieExtra, c.senseStart
+		c.release()
+		final := s.resolvePage(page)
+		s.backend.SensePage(final, dieExtra, senseStart, func(fault.Outcome) {
+			done(s.resolvePage(page))
+		})
+	}
 }
 
 // recoverPage retires the failed page's block, remaps the page into the
@@ -129,6 +146,7 @@ func (s *System) recoverPage(rp uint32, dieDead bool) error {
 		// copy: the bytes move to their new physical home.
 		s.build.Pages[sp] = pb
 		delete(s.build.Pages, rp)
+		s.invalidateSections()
 	}
 	fc := s.cfg.Fault
 	if !dieDead && fc.RelocateAfterRetire > 0 && s.retireWear >= fc.RelocateAfterRetire {
@@ -165,5 +183,6 @@ func (s *System) relocateDirectGraph() error {
 	}
 	s.ftl.RecordRelocation(plan.OldFirstPage, count, plan.PageDelta)
 	s.inj.NoteRelocation()
+	s.invalidateSections()
 	return nil
 }

@@ -1,0 +1,71 @@
+package platform
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"beacongnn/internal/config"
+)
+
+// TestFrontierPrecomputable pins which platforms allow target frontiers
+// to be drawn outside the run: exactly the die-sampling kinds.
+func TestFrontierPrecomputable(t *testing.T) {
+	want := map[Kind]bool{
+		CC: false, SmartSage: false, GList: false, BG1: false, BGDG: false,
+		BGSP: true, BGDGSP: true, BG2: true,
+	}
+	for k, w := range want {
+		if got := FrontierPrecomputable(k); got != w {
+			t.Errorf("FrontierPrecomputable(%v) = %v, want %v", k, got, w)
+		}
+	}
+}
+
+// TestInjectedFrontierMatchesSelfDrawn is the core byte-identity claim
+// behind incremental sweeps: running with a precomputed frontier must
+// reproduce a self-drawn run measurement-for-measurement, on every
+// precomputable platform.
+func TestInjectedFrontierMatchesSelfDrawn(t *testing.T) {
+	inst := testInstance(t)
+	cfg := config.Default()
+	cfg.GNN.BatchSize = 32
+	const batches, timeline = 2, 256
+	for _, k := range All() {
+		if !FrontierPrecomputable(k) {
+			continue
+		}
+		self, err := Simulate(k, cfg, inst, batches, timeline)
+		if err != nil {
+			t.Fatalf("%v self-drawn: %v", k, err)
+		}
+		targets := Frontiers(k, cfg, inst, batches)
+		injected, err := SimulateTargetsCtx(context.Background(), k, cfg, inst, batches, timeline, targets)
+		if err != nil {
+			t.Fatalf("%v injected: %v", k, err)
+		}
+		if !reflect.DeepEqual(self, injected) {
+			t.Errorf("%v: injected-frontier result differs from self-drawn run", k)
+		}
+	}
+}
+
+// TestFrontiersSkewed covers the Zipf path of the shared target drawer.
+func TestFrontiersSkewed(t *testing.T) {
+	inst := testInstance(t)
+	cfg := config.Default()
+	cfg.GNN.BatchSize = 16
+	cfg.GNN.TargetSkew = 1.1
+	f1 := Frontiers(BG2, cfg, inst, 3)
+	f2 := Frontiers(BG2, cfg, inst, 3)
+	if !reflect.DeepEqual(f1, f2) {
+		t.Fatal("Frontiers is not deterministic")
+	}
+	if len(f1) != 3 || len(f1[0]) != 16 {
+		t.Fatalf("frontier shape = %d batches x %d targets, want 3 x 16", len(f1), len(f1[0]))
+	}
+	// Distinct kinds mix the seed differently, so frontiers must differ.
+	if reflect.DeepEqual(f1, Frontiers(BGSP, cfg, inst, 3)) {
+		t.Fatal("BG2 and BGSP drew identical frontiers from distinct seeds")
+	}
+}

@@ -37,22 +37,23 @@ func (s *System) recordBytes(v graph.NodeID, sample bool) int {
 	return 4*s.inst.Graph.Degree(v) + feat
 }
 
-// pagesFor returns how many physical pages a read touches, and the page
-// numbers. Raw-format data is addressed at the node's DirectGraph
+// appendPages appends the physical pages a read touches to dst and
+// returns it. Raw-format data is addressed at the node's DirectGraph
 // primary page (the striping is equivalent); multi-page reads use
-// consecutive page numbers, which stripe across channels.
-func (s *System) pagesFor(v graph.NodeID, bytes int) []uint32 {
+// consecutive page numbers, which stripe across channels. Callers pass
+// the batch's pageScratch: readAllPages/hostRead consume the list
+// synchronously, so the buffer is free again when they return.
+func (s *System) appendPages(dst []uint32, v graph.NodeID, bytes int) []uint32 {
 	ps := s.cfg.Flash.PageSize
 	n := (bytes + ps - 1) / ps
 	if n < 1 {
 		n = 1
 	}
 	base := s.layout.Page(s.build.NodeAddr(v))
-	pages := make([]uint32, n)
-	for i := range pages {
-		pages[i] = base + uint32(i)
+	for i := 0; i < n; i++ {
+		dst = append(dst, base+uint32(i))
 	}
-	return pages
+	return dst
 }
 
 // registerChildPage mirrors registerChildDie for page-flow children.
@@ -86,83 +87,118 @@ func (b *batchState) dispatchPage(r nodeRead) {
 }
 
 // flashPageRead performs one full-page read with lifetime accounting:
-// sense, full-page channel transfer, DRAM landing.
+// sense, full-page channel transfer, DRAM landing. Per-read state lives
+// in a pooled pageOp (pools.go).
 func (s *System) flashPageRead(page uint32, created sim.Time, step int, record bool, done func()) {
-	var senseStart, senseEnd sim.Time
-	s.senseManaged(page, 0, func(at sim.Time) {
-		senseStart = at
-		if record {
-			// Hop timelines (Fig. 16) track batch 0 only.
-			s.coll.HopStart(step, at)
-		}
-	}, func(final uint32) {
-		senseEnd = s.k.Now()
-		ps := s.cfg.Flash.PageSize
-		s.backend.Transfer(final, ps, func() {
-			xfer := s.cfg.Flash.TransferTime(ps)
-			waitAfter := s.k.Now() - senseEnd - xfer
-			if waitAfter < 0 {
-				waitAfter = 0
-			}
-			wb := senseStart - created
-			fl := senseEnd - senseStart
-			s.coll.CommandLifetime(wb, fl, waitAfter, xfer)
-			s.coll.AddPhase(metrics.PhaseFlash, fl)
-			s.coll.AddPhase(metrics.PhaseChannel, xfer)
-			s.dramWrite(ps, done)
-		})
-	})
+	op := pageOpPool.Get()
+	op.s, op.created, op.step, op.record, op.done = s, created, step, record, done
+	s.senseManaged(page, 0, op.fnSenseStart, op.fnSenseDone)
+}
+
+func (op *pageOp) onSenseStart(at sim.Time) {
+	op.senseStart = at
+	if op.record {
+		// Hop timelines (Fig. 16) track batch 0 only.
+		op.s.coll.HopStart(op.step, at)
+	}
+}
+
+func (op *pageOp) onSenseDone(final uint32) {
+	s := op.s
+	op.senseEnd = s.k.Now()
+	s.backend.Transfer(final, s.cfg.Flash.PageSize, op.fnXferDone)
+}
+
+func (op *pageOp) onXferDone() {
+	s := op.s
+	ps := s.cfg.Flash.PageSize
+	xfer := s.cfg.Flash.TransferTime(ps)
+	waitAfter := s.k.Now() - op.senseEnd - xfer
+	if waitAfter < 0 {
+		waitAfter = 0
+	}
+	wb := op.senseStart - op.created
+	fl := op.senseEnd - op.senseStart
+	s.coll.CommandLifetime(wb, fl, waitAfter, xfer)
+	s.coll.AddPhase(metrics.PhaseFlash, fl)
+	s.coll.AddPhase(metrics.PhaseChannel, xfer)
+	done := op.done
+	op.release()
+	s.dramWrite(ps, done)
 }
 
 // readAllPages reads every page of the list through the firmware path
 // (translate without DirectGraph + flash scheduling per page). When
 // hostBytes > 0, that many sector-rounded bytes per page continue on to
-// host memory over PCIe.
+// host memory over PCIe. The pages slice is consumed before returning;
+// the per-page chains run on pooled rapOps under one rapGroup.
 func (b *batchState) readAllPages(pages []uint32, created sim.Time, step int, hostBytes int, done func()) {
 	s := b.sys
-	remaining := len(pages)
+	g := rapGroupPool.Get()
+	g.b, g.remaining, g.hostBytes = b, len(pages), hostBytes
+	g.created, g.step, g.done = created, step, done
 	for _, p := range pages {
-		p := p
-		start := func() {
-			s.backend.IssueCommand(p, func() {
-				s.flashPageRead(p, created, step, b.id == 0, func() {
-					if hostBytes > 0 {
-						s.dramRead(hostBytes, func() {
-							s.pcieData(hostBytes, func() {
-								remaining--
-								if remaining == 0 {
-									done()
-								}
-							})
-						})
-						return
-					}
-					remaining--
-					if remaining == 0 {
-						done()
-					}
-				})
-			})
-		}
+		op := rapOpPool.Get()
+		op.g, op.page = g, p
 		cost := s.cfg.Firmware.FlashCmdCost
 		if !s.caps.DirectGraph {
 			cost += s.cfg.Firmware.TranslateCost
 		}
 		s.fwPhase(cost)
-		s.fw.Do(cost, start)
+		s.fw.Do(cost, op.fnStart)
+	}
+}
+
+func (op *rapOp) onStart() {
+	op.g.b.sys.backend.IssueCommand(op.page, op.fnIssued)
+}
+
+func (op *rapOp) onIssued() {
+	g := op.g
+	g.b.sys.flashPageRead(op.page, g.created, g.step, g.b.id == 0, op.fnPageDone)
+}
+
+func (op *rapOp) onPageDone() {
+	g := op.g
+	if g.hostBytes > 0 {
+		g.b.sys.dramRead(g.hostBytes, op.fnDramDone)
+		return
+	}
+	op.release()
+	g.pageDone()
+}
+
+func (op *rapOp) onDramDone() {
+	g := op.g
+	g.b.sys.pcieData(g.hostBytes, op.fnPcieDone)
+}
+
+func (op *rapOp) onPcieDone() {
+	g := op.g
+	op.release()
+	g.pageDone()
+}
+
+func (g *rapGroup) pageDone() {
+	g.remaining--
+	if g.remaining == 0 {
+		done := g.done
+		g.release()
+		done()
 	}
 }
 
 // fwRead executes a node read with firmware-driven control (SmartSage,
-// BG-1, BG-DG, and GList's feature path).
+// BG-1, BG-DG, and GList's feature path). Per-read state lives in a
+// pooled fwReadOp (pools.go).
 func (b *batchState) fwRead(r nodeRead) {
 	s := b.sys
-	var pages []uint32
+	b.pageScratch = b.pageScratch[:0]
 	if s.caps.DirectGraph {
 		// One primary page holds feature + inline neighbors.
-		pages = []uint32{s.layout.Page(s.build.NodeAddr(r.node))}
+		b.pageScratch = append(b.pageScratch, s.layout.Page(s.build.NodeAddr(r.node)))
 	} else {
-		pages = s.pagesFor(r.node, s.recordBytes(r.node, r.sample))
+		b.pageScratch = s.appendPages(b.pageScratch, r.node, s.recordBytes(r.node, r.sample))
 	}
 	// SmartSage ships feature pages onward to the host via the block
 	// interface; sampling data stays inside. (InternalFT platforms keep
@@ -171,103 +207,149 @@ func (b *batchState) fwRead(r nodeRead) {
 	if !s.caps.InternalFT && !r.sample {
 		hostBytes = s.cfg.Flash.PageSize
 	}
-	b.readAllPages(pages, r.created, r.step(), hostBytes, func() {
-		if r.feature {
-			b.featBytes += int64(s.inst.Desc.FeatureDim * 2)
+	op := fwReadOpPool.Get()
+	op.b, op.r = b, r
+	b.readAllPages(b.pageScratch, r.created, r.step(), hostBytes, op.fnPagesDone)
+}
+
+func (op *fwReadOp) onPagesDone() {
+	b, s := op.b, op.b.sys
+	r := op.r
+	if r.feature {
+		b.featBytes += int64(s.inst.Desc.FeatureDim * 2)
+	}
+	if !r.sample {
+		op.release()
+		if b.id == 0 {
+			s.coll.HopEnd(r.step(), s.k.Now())
 		}
-		if !r.sample {
-			if b.id == 0 {
-				s.coll.HopEnd(r.step(), s.k.Now())
-			}
-			b.stepDone(r.step())
-			return
+		b.stepDone(r.step())
+		return
+	}
+	// Firmware neighbor sampling.
+	s.fwPhase(s.cfg.Firmware.SampleCostFixed + sim.Time(s.cfg.GNN.Fanout)*s.cfg.Firmware.SampleCostPerNode)
+	s.fw.SampleNodes(s.cfg.GNN.Fanout, op.fnSampled)
+}
+
+func (op *fwReadOp) onSampled() {
+	b, r := op.b, op.r
+	op.release()
+	s := b.sys
+	children := b.drawChildren(r)
+	if b.id == 0 {
+		s.coll.HopEnd(r.step(), s.k.Now())
+	}
+	for _, c := range children {
+		if b.registerChildPage(c) {
+			b.dispatchPage(c)
 		}
-		// Firmware neighbor sampling.
-		s.fwPhase(s.cfg.Firmware.SampleCostFixed + sim.Time(s.cfg.GNN.Fanout)*s.cfg.Firmware.SampleCostPerNode)
-		s.fw.SampleNodes(s.cfg.GNN.Fanout, func() {
-			children := b.drawChildren(r)
-			if b.id == 0 {
-				s.coll.HopEnd(r.step(), s.k.Now())
-			}
-			for _, c := range children {
-				if b.registerChildPage(c) {
-					b.dispatchPage(c)
-				}
-			}
-			b.stepDone(r.step())
-		})
-	})
+	}
+	b.stepDone(r.step())
 }
 
 // fwSecondaryRead reads one BG-DG secondary page whose children were
 // drawn during the parent's sampling; they release when it lands.
 func (b *batchState) fwSecondaryRead(r nodeRead) {
+	op := fwSecOpPool.Get()
+	op.b, op.r = b, r
+	b.pageScratch = append(b.pageScratch[:0], r.secPage)
+	b.readAllPages(b.pageScratch, r.created, r.step(), 0, op.fnPagesDone)
+}
+
+func (op *fwSecOp) onPagesDone() {
+	s := op.b.sys
+	s.fwPhase(s.cfg.Firmware.ResultParseCost)
+	s.fw.ParseResult(op.fnParsed)
+}
+
+func (op *fwSecOp) onParsed() {
+	b, r := op.b, op.r
+	op.release()
 	s := b.sys
-	b.readAllPages([]uint32{r.secPage}, r.created, r.step(), 0, func() {
-		s.fwPhase(s.cfg.Firmware.ResultParseCost)
-		s.fw.ParseResult(func() {
-			if b.id == 0 {
-				s.coll.HopEnd(r.step(), s.k.Now())
-			}
-			for _, child := range r.secChildren {
-				for _, c := range b.childReads(child, r.hop+1) {
-					if b.registerChildPage(c) {
-						b.dispatchPage(c)
-					}
-				}
-			}
-			b.stepDone(r.step())
-		})
-	})
+	if b.id == 0 {
+		s.coll.HopEnd(r.step(), s.k.Now())
+	}
+	for _, child := range r.secChildren {
+		c := b.childRead(child, r.hop+1)
+		if b.registerChildPage(c) {
+			b.dispatchPage(c)
+		}
+	}
+	b.stepDone(r.step())
 }
 
 // hostRead executes a node read under host control (CC always; GList's
 // sampling reads): every page is a full NVMe I/O crossing PCIe, and
-// sampling runs on the host CPU.
+// sampling runs on the host CPU. The per-page chains run on pooled
+// hostOps under one hostGroup (pools.go).
 func (b *batchState) hostRead(r nodeRead) {
 	s := b.sys
 	bytes := s.recordBytes(r.node, r.sample)
-	pages := s.pagesFor(r.node, bytes)
-	// Block-interface reads are page-granular end to end: the whole
-	// page crosses DRAM and PCIe (Challenge 2's read amplification).
-	perPage := s.cfg.Flash.PageSize
+	b.pageScratch = s.appendPages(b.pageScratch[:0], r.node, bytes)
 	// Dependent (sampling) reads pay the full software stack; bulk
 	// feature fetches batch through io_uring-style submission.
 	stack := s.cfg.Host.IOStackCost
 	if r.feature && !r.sample {
 		stack = s.cfg.Host.BatchedIOCost
 	}
-	remaining := len(pages)
-	for _, p := range pages {
-		p := p
-		s.hostDo(stack, func() {
-			s.pcieData(64, func() {
-				cost := s.cfg.Firmware.PollCost + s.cfg.Firmware.TranslateCost + s.cfg.Firmware.FlashCmdCost
-				s.fwPhase(cost)
-				s.fw.Do(cost, func() {
-					s.backend.IssueCommand(p, func() {
-						s.flashPageRead(p, r.created, r.step(), b.id == 0, func() {
-							s.dramRead(perPage, func() {
-								s.pcieData(perPage, func() {
-									remaining--
-									if remaining == 0 {
-										b.hostPagesArrived(r)
-									}
-								})
-							})
-						})
-					})
-				})
-			})
-		})
+	g := hostGroupPool.Get()
+	g.b, g.r, g.remaining = b, r, len(b.pageScratch)
+	for _, p := range b.pageScratch {
+		op := hostOpPool.Get()
+		op.g, op.page = g, p
+		s.hostDo(stack, op.fnHostDone)
+	}
+}
+
+func (op *hostOp) onHostDone() {
+	op.g.b.sys.pcieData(64, op.fnPcie64)
+}
+
+func (op *hostOp) onPcie64() {
+	s := op.g.b.sys
+	cost := s.cfg.Firmware.PollCost + s.cfg.Firmware.TranslateCost + s.cfg.Firmware.FlashCmdCost
+	s.fwPhase(cost)
+	s.fw.Do(cost, op.fnFwDone)
+}
+
+func (op *hostOp) onFwDone() {
+	op.g.b.sys.backend.IssueCommand(op.page, op.fnIssued)
+}
+
+func (op *hostOp) onIssued() {
+	g := op.g
+	g.b.sys.flashPageRead(op.page, g.r.created, g.r.step(), g.b.id == 0, op.fnPageDone)
+}
+
+// Block-interface reads are page-granular end to end: the whole page
+// crosses DRAM and PCIe (Challenge 2's read amplification).
+func (op *hostOp) onPageDone() {
+	s := op.g.b.sys
+	s.dramRead(s.cfg.Flash.PageSize, op.fnDramDone)
+}
+
+func (op *hostOp) onDramDone() {
+	s := op.g.b.sys
+	s.pcieData(s.cfg.Flash.PageSize, op.fnPcieDone)
+}
+
+func (op *hostOp) onPcieDone() {
+	g := op.g
+	op.release()
+	g.remaining--
+	if g.remaining == 0 {
+		g.b.hostPagesArrived(g)
 	}
 }
 
 // hostPagesArrived finishes a host-controlled read: feature reads are
-// done; sampling reads run the host sampler and spawn children.
-func (b *batchState) hostPagesArrived(r nodeRead) {
+// done; sampling reads run the host sampler and spawn children. The
+// group carries the read across the host-sampling hand-off.
+func (b *batchState) hostPagesArrived(g *hostGroup) {
 	s := b.sys
+	r := g.r
 	if r.feature && !r.sample {
+		g.release()
 		b.featBytes += int64(s.inst.Desc.FeatureDim * 2)
 		if b.id == 0 {
 			s.coll.HopEnd(r.step(), s.k.Now())
@@ -276,24 +358,31 @@ func (b *batchState) hostPagesArrived(r nodeRead) {
 		return
 	}
 	cost := sim.Time(s.cfg.GNN.Fanout) * s.cfg.Host.SampleCostNode
-	s.hostDo(cost, func() {
-		children := b.drawChildren(r)
-		if b.id == 0 {
-			s.coll.HopEnd(r.step(), s.k.Now())
+	s.hostDo(cost, g.fnSampled)
+}
+
+func (g *hostGroup) onSampled() {
+	b, r := g.b, g.r
+	g.release()
+	s := b.sys
+	children := b.drawChildren(r)
+	if b.id == 0 {
+		s.coll.HopEnd(r.step(), s.k.Now())
+	}
+	for _, c := range children {
+		if b.registerChildPage(c) {
+			b.dispatchPage(c)
 		}
-		for _, c := range children {
-			if b.registerChildPage(c) {
-				b.dispatchPage(c)
-			}
-		}
-		b.stepDone(r.step())
-	})
+	}
+	b.stepDone(r.step())
 }
 
 // drawChildren samples the node's children and expands them into the
 // next hop's reads. Raw-format platforms have the full neighbor list in
 // hand; BG-DG draws global indices over the DirectGraph plan, turning
-// out-of-page draws into coalesced secondary reads.
+// out-of-page draws into coalesced secondary reads. The returned slice
+// is the batch's childScratch — callers consume it before the next
+// drawChildren call (dispatch copies the values out).
 func (b *batchState) drawChildren(r nodeRead) []nodeRead {
 	s := b.sys
 	g := s.inst.Graph
@@ -302,32 +391,44 @@ func (b *batchState) drawChildren(r nodeRead) []nodeRead {
 		return nil
 	}
 	now := s.k.Now()
-	var out []nodeRead
+	out := b.childScratch[:0]
 	if !s.caps.DirectGraph {
 		for i := 0; i < s.cfg.GNN.Fanout; i++ {
 			child := g.Neighbor(r.node, s.rng.Intn(deg))
-			out = append(out, b.childReads(child, r.hop+1)...)
+			out = append(out, b.childRead(child, r.hop+1))
 		}
+		b.childScratch = out
 		return out
 	}
-	// BG-DG: DirectGraph-aware drawing with secondary coalescing.
+	// BG-DG: DirectGraph-aware drawing with secondary coalescing. The
+	// per-index buckets reuse the batch's coalesce table; bucket
+	// contents are handed off to the secondary reads, so used entries
+	// reset to nil and reallocate on the next draw.
 	plan := &s.build.Plans[r.node]
-	coalesce := map[int][]graph.NodeID{}
+	if cap(b.coalesce) < plan.SecCount {
+		b.coalesce = make([][]graph.NodeID, plan.SecCount)
+	}
+	co := b.coalesce[:plan.SecCount]
+	for i := range co {
+		co[i] = nil
+	}
+	b.coalesce = co
 	for i := 0; i < s.cfg.GNN.Fanout; i++ {
 		idx := s.rng.Intn(deg)
 		child := g.Neighbor(r.node, idx)
 		if idx < plan.InlineCount {
-			out = append(out, b.childReads(child, r.hop+1)...)
+			out = append(out, b.childRead(child, r.hop+1))
 			continue
 		}
 		si := plan.SecondaryIndexFor(idx)
-		coalesce[si] = append(coalesce[si], child)
+		co[si] = append(co[si], child)
 	}
 	for si := 0; si < plan.SecCount; si++ {
-		kids := coalesce[si]
+		kids := co[si]
 		if len(kids) == 0 {
 			continue
 		}
+		co[si] = nil
 		out = append(out, nodeRead{
 			node: r.node, hop: r.hop, secondary: true,
 			secPage:     s.layout.Page(plan.Secondaries[si]),
@@ -335,19 +436,20 @@ func (b *batchState) drawChildren(r nodeRead) []nodeRead {
 			created:     now,
 		})
 	}
+	b.childScratch = out
 	return out
 }
 
-// childReads expands one sampled child node into its reads at the given
+// childRead expands one sampled child node into its read at the given
 // depth: a sampling read (plus a raw-format feature read) below the
 // final hop, or a feature-only read at the final hop.
-func (b *batchState) childReads(child graph.NodeID, hop int) []nodeRead {
+func (b *batchState) childRead(child graph.NodeID, hop int) nodeRead {
 	s := b.sys
 	now := s.k.Now()
 	if hop >= s.cfg.GNN.Hops {
-		return []nodeRead{{node: child, hop: hop, feature: true, created: now}}
+		return nodeRead{node: child, hop: hop, feature: true, created: now}
 	}
 	// One read covers sampling and feature: DirectGraph primaries hold
 	// both by construction, and raw layouts co-locate the node record.
-	return []nodeRead{{node: child, hop: hop, sample: true, feature: true, created: now}}
+	return nodeRead{node: child, hop: hop, sample: true, feature: true, created: now}
 }

@@ -1,0 +1,64 @@
+package platform
+
+import (
+	"fmt"
+
+	"beacongnn/internal/directgraph"
+)
+
+// Per-run decoded-section cache. DirectGraph pages are immutable while a
+// simulation runs (the fault model's remaps move bytes between page
+// numbers and relocation rewrites them, both of which invalidate), so
+// each page's section chain is decoded once instead of on every sampler
+// invocation — decodeSection was the single largest allocation site in
+// the whole request path. The cache is per-System: the kernel is
+// single-threaded, so no locking, and concurrent experiments sharing one
+// materialized instance never share cache state.
+
+// pageSections returns the decoded section chain of a physical page,
+// decoding and caching it on first touch.
+func (s *System) pageSections(pn uint32, page []byte) ([]*directgraph.Section, error) {
+	if secs, ok := s.secCache[pn]; ok {
+		return secs, nil
+	}
+	secs, err := directgraph.DecodeAll(s.layout, page)
+	if err != nil {
+		return nil, err
+	}
+	if s.secCache == nil {
+		s.secCache = make(map[uint32][]*directgraph.Section)
+	}
+	s.secCache[pn] = secs
+	return secs, nil
+}
+
+// cachedSection resolves section idx of the given physical page through
+// the cache, with FindSection's error surface ("sampler:"-wrapped by the
+// die path's caller, so messages match the uncached decoder).
+func (s *System) cachedSection(pn uint32, page []byte, idx int) (*directgraph.Section, error) {
+	secs, err := s.pageSections(pn, page)
+	if err != nil {
+		return nil, err
+	}
+	if idx < 0 || idx >= len(secs) {
+		return nil, directgraph.ErrSectionNotFound
+	}
+	return secs[idx], nil
+}
+
+// cachedSectionAddr is Build.ReadSection through the cache.
+func (s *System) cachedSectionAddr(a directgraph.Addr) (*directgraph.Section, error) {
+	pn := s.layout.Page(a)
+	page, ok := s.build.Pages[pn]
+	if !ok {
+		return nil, fmt.Errorf("directgraph: page %d not materialized", pn)
+	}
+	return s.cachedSection(pn, page, s.layout.Section(a))
+}
+
+// invalidateSections drops every cached decode. Called whenever the
+// fault model mutates the page image (spare remap, relocation); both are
+// rare, so a full clear keeps the reasoning trivial.
+func (s *System) invalidateSections() {
+	clear(s.secCache)
+}

@@ -58,6 +58,10 @@ type System struct {
 	ftl   *ftl.FTL        // nil unless cfg.Fault.Enabled
 	inj   *fault.Injector // nil unless cfg.Fault.Enabled
 
+	// secCache holds decoded section chains per physical page; see
+	// seccache.go for the invalidation contract.
+	secCache map[uint32][]*directgraph.Section
+
 	failErr    error // first unrecoverable device error; set via fail()
 	retireWear int   // wear-caused retirements since the last relocation
 
@@ -222,14 +226,9 @@ func NewSystem(kind Kind, cfg config.Config, inst *dataset.Instance, timelinePoi
 			if !ok {
 				panic(fmt.Sprintf("platform: routed command for unknown batch %d", cmd.Batch))
 			}
-			b.execDie(cmd, release, func(res *sampler.Result) {
-				if n := len(res.FeatureBits) * 2; n > 0 {
-					s.dramWrite(n, nil)
-				}
-				children := b.accountDie(cmd, res)
-				done(children)
-				b.stepDone(cmd.Hop)
-			})
+			op := rtrOpPool.Get()
+			op.s, op.b, op.cmd, op.done = s, b, cmd, done
+			b.execDie(cmd, release, op.fnExecDone)
 		}
 	}
 	return s, nil

@@ -1,0 +1,57 @@
+// Package pool provides sync.Pool-backed free lists with an off switch.
+//
+// The simulator's request path reuses per-request state objects whose
+// continuation funcs are bound once at construction, so steady-state
+// request processing allocates nothing. Correctness of the reset
+// discipline is testable: Disable turns every pool into a plain
+// allocator, and the determinism tests compare pooled and fresh-alloc
+// runs byte for byte.
+package pool
+
+import "sync"
+
+// disabled switches every Pool to fresh allocation. It is written only
+// by tests, before any simulation starts — never concurrently with use.
+var disabled bool
+
+// Disable turns pooling off (true) or back on (false). Test-only; must
+// not be called while simulations are running.
+func Disable(d bool) { disabled = d }
+
+// Disabled reports whether pooling is off.
+func Disabled() bool { return disabled }
+
+// Pool is a typed sync.Pool. The constructor runs once per fresh object
+// (or on every Get while disabled), which is where pooled state machines
+// bind their continuation funcs.
+type Pool[T any] struct {
+	p    sync.Pool
+	cons func() *T
+}
+
+// New returns a pool allocating with cons.
+func New[T any](cons func() *T) *Pool[T] {
+	return &Pool[T]{cons: cons}
+}
+
+// Get returns a pooled object, constructing one when the pool is empty
+// or disabled. The caller owns it until Put.
+func (p *Pool[T]) Get() *T {
+	if disabled {
+		return p.cons()
+	}
+	if v := p.p.Get(); v != nil {
+		return v.(*T)
+	}
+	return p.cons()
+}
+
+// Put returns an object to the pool. Callers must clear every reference
+// field first (the reset discipline); while disabled it is a no-op and
+// the object is garbage.
+func (p *Pool[T]) Put(v *T) {
+	if disabled {
+		return
+	}
+	p.p.Put(v)
+}

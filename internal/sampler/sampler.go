@@ -92,6 +92,17 @@ func Execute(l directgraph.Layout, page []byte, cmd Command, cfg Config, trng *x
 	if err != nil {
 		return nil, fmt.Errorf("sampler: %w", err)
 	}
+	return ExecuteDecoded(l, sec, cmd, cfg, trng)
+}
+
+// ExecuteDecoded is Execute with the section-iterator walk already done:
+// callers that cache decoded pages (the simulator's per-run section
+// cache) pass the section directly. Behaviour is identical to Execute on
+// the same section.
+func ExecuteDecoded(l directgraph.Layout, sec *directgraph.Section, cmd Command, cfg Config, trng *xrand.Source) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	res := &Result{Node: sec.NodeID, Addr: cmd.Addr, Hop: cmd.Hop}
 	switch {
 	case cmd.Secondary:

@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// benchPost drives one request through the full handler stack —
+// decode, validation, admission, engine, JSON encode — exactly as an
+// HTTP client would, minus the network.
+func benchPost(b *testing.B, s http.Handler, body string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodPost, "/v1/simulate", strings.NewReader(body))
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		b.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	return w
+}
+
+// BenchmarkRequestPath measures one simulate request end to end through
+// the serving layer, in both regimes that matter for a daemon:
+//
+//   - cold: every request has a distinct config digest (a different
+//     read-latency override), so each op pays a full simulation on a
+//     warm dataset instance — the request path's allocation budget is
+//     on top of the simulation itself;
+//   - memo-hit: the same request repeatedly, so each op is decode +
+//     validation + memo lookup + JSON encode. This is the latency a
+//     client sees for a repeated query and must stay microseconds.
+func BenchmarkRequestPath(b *testing.B) {
+	s := New(Config{Workers: 1, MaxNodes: 50_000})
+	base := `{"platform":"BG-2","dataset":"amazon","nodes":2000,"batches":2`
+
+	// Warm the instance cache so cold ops measure simulation + request
+	// path, not dataset materialization.
+	benchPost(b, s, base+`}`)
+
+	// Monotonic across the benchmark's b.N calibration rounds — the same
+	// i must never produce the same config digest twice.
+	latency := 3000
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			// A unique flash read latency per op forces a config-digest
+			// miss while reusing the materialized instance.
+			latency++
+			body := fmt.Sprintf(`%s,"read_latency_ns":%d}`, base, latency)
+			w := benchPost(b, s, body)
+			if w.Header().Get("X-Cache") != "miss" {
+				b.Fatal("cold op unexpectedly hit the memo")
+			}
+		}
+	})
+
+	b.Run("memo-hit", func(b *testing.B) {
+		body := base + `}`
+		benchPost(b, s, body) // ensure the key is resident
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w := benchPost(b, s, body)
+			if w.Header().Get("X-Cache") != "hit" {
+				b.Fatal("memo-hit op missed the cache")
+			}
+		}
+	})
+}

@@ -58,11 +58,16 @@ func (t Time) String() string {
 	}
 }
 
-// event is a scheduled callback.
+// event is a scheduled callback. The common case carries a closure in
+// fn; Server completions instead carry the (srv, slot) pair of the
+// in-service request, so the hot request path schedules zero closures —
+// step dispatches srv.complete(slot) directly.
 type event struct {
-	at  Time
-	seq uint64 // tiebreaker: FIFO among equal times
-	fn  func()
+	at   Time
+	seq  uint64 // tiebreaker: FIFO among equal times
+	fn   func()
+	srv  *Server
+	slot int32
 }
 
 // before orders events by (time, insertion sequence).
@@ -185,6 +190,14 @@ func (k *Kernel) After(d Time, fn func()) {
 	k.At(k.now+d, fn)
 }
 
+// afterServer schedules a Server completion d from now without a
+// closure: the event carries the (server, slot) pair and step dispatches
+// it directly. Service times are validated non-negative at Submit.
+func (k *Kernel) afterServer(d Time, s *Server, slot int32) {
+	k.seq++
+	k.events.push(event{at: k.now + d, seq: k.seq, srv: s, slot: slot})
+}
+
 // SetProbe installs a per-event observer: it runs before each event's
 // callback with the event's scheduled time. The invariant checker uses
 // it to verify the clock never moves backwards. A nil probe (the
@@ -258,6 +271,10 @@ func (k *Kernel) step() {
 	if k.probe != nil {
 		k.probe(e.at)
 	}
+	if e.srv != nil {
+		e.srv.complete(e.slot)
+		return
+	}
 	e.fn()
 }
 
@@ -311,6 +328,12 @@ type Server struct {
 	tracer Tracer
 	tname  string
 	tlane  int
+	// In-service requests live in a slot table rather than being captured
+	// by completion closures; free lists the reusable slot indices. Both
+	// stop growing once the table reaches the high-water in-service count,
+	// so steady-state request processing allocates nothing.
+	slots []inService
+	free  []int32
 }
 
 type serverReq struct {
@@ -318,6 +341,17 @@ type serverReq struct {
 	start   func(start Time) // optional: called when service begins
 	done    func()
 	arrived Time
+	// doneDelay defers done by a fixed post-service latency (Pipe
+	// transfers) without a wrapper closure.
+	doneDelay Time
+}
+
+// inService is the slot-table record of one request in service.
+type inService struct {
+	done      func()
+	arrived   Time
+	startAt   Time
+	doneDelay Time
 }
 
 // NewServer returns a service center with the given parallel width.
@@ -381,10 +415,21 @@ func (s *Server) Submit(service Time, done func()) {
 // SubmitFull enqueues a request; start (optional) runs when service begins,
 // receiving the start time, and done (optional) when it completes.
 func (s *Server) SubmitFull(service Time, start func(Time), done func()) {
-	if service < 0 {
+	s.submit(serverReq{service: service, start: start, done: done})
+}
+
+// SubmitDelayed enqueues a request whose done callback runs extra time
+// after service completes — the fixed post-service latency of a Pipe —
+// without the wrapper closure Submit would need.
+func (s *Server) SubmitDelayed(service, extra Time, done func()) {
+	s.submit(serverReq{service: service, done: done, doneDelay: extra})
+}
+
+func (s *Server) submit(r serverReq) {
+	if r.service < 0 {
 		panic("sim: negative service time")
 	}
-	r := serverReq{service: service, start: start, done: done, arrived: s.k.Now()}
+	r.arrived = s.k.Now()
 	if s.busy < s.width {
 		s.begin(r)
 		return
@@ -404,25 +449,45 @@ func (s *Server) begin(r serverReq) {
 	if r.start != nil {
 		r.start(startAt)
 	}
-	s.k.After(r.service, func() {
-		s.busy--
-		if s.util != nil {
-			s.util.Add(s.k.Now(), -1)
-		}
-		if s.tracer != nil {
-			s.tracer.ServerSpan(s.tname, s.tlane, r.arrived, startAt, s.k.Now())
-		}
-		// Hand the freed slot to the oldest waiter before running done:
-		// a Submit issued synchronously from the completion callback
-		// would otherwise see busy < width and begin service at once,
-		// jumping ahead of requests that arrived earlier.
-		if s.QueueLen() > 0 && s.busy < s.width {
-			s.begin(s.popFront())
-		}
-		if r.done != nil {
-			r.done()
-		}
-	})
+	var slot int32
+	if n := len(s.free); n > 0 {
+		slot = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		slot = int32(len(s.slots))
+		s.slots = append(s.slots, inService{})
+	}
+	s.slots[slot] = inService{done: r.done, arrived: r.arrived, startAt: startAt, doneDelay: r.doneDelay}
+	s.k.afterServer(r.service, s, slot)
+}
+
+// complete finishes the request in the given slot. Dispatched directly
+// from the kernel's event loop (see event).
+func (s *Server) complete(slot int32) {
+	r := s.slots[slot]
+	s.slots[slot] = inService{} // release the callback reference
+	s.free = append(s.free, slot)
+	s.busy--
+	if s.util != nil {
+		s.util.Add(s.k.Now(), -1)
+	}
+	if s.tracer != nil {
+		s.tracer.ServerSpan(s.tname, s.tlane, r.arrived, r.startAt, s.k.Now())
+	}
+	// Hand the freed slot to the oldest waiter before running done:
+	// a Submit issued synchronously from the completion callback
+	// would otherwise see busy < width and begin service at once,
+	// jumping ahead of requests that arrived earlier.
+	if s.QueueLen() > 0 && s.busy < s.width {
+		s.begin(s.popFront())
+	}
+	switch {
+	case r.done == nil:
+	case r.doneDelay > 0:
+		s.k.After(r.doneDelay, r.done)
+	default:
+		r.done()
+	}
 }
 
 // Pipe is a bandwidth-limited byte mover with fixed per-transfer latency:
@@ -464,17 +529,7 @@ func (p *Pipe) Transfer(n int, done func()) {
 		panic("sim: negative transfer size")
 	}
 	p.moved += uint64(n)
-	occ := p.OccupancyFor(n)
-	lat := p.latency
-	p.srv.Submit(occ, func() {
-		switch {
-		case done == nil:
-		case lat > 0:
-			p.srv.k.After(lat, done)
-		default:
-			done()
-		}
-	})
+	p.srv.SubmitDelayed(p.OccupancyFor(n), p.latency, done)
 }
 
 // BytesMoved returns the total bytes accepted by the pipe.

@@ -58,6 +58,12 @@ func (r *Recorder) ServerSpan(resource string, lane int, arrived, start, end sim
 // Spans returns every recorded span in completion order.
 func (r *Recorder) Spans() []Span { return r.spans }
 
+// Reset forgets every recorded span but keeps the backing storage, so a
+// long-lived recorder (a daemon tracing request after request) reuses
+// one grown buffer instead of reallocating the span log per run. Spans
+// are plain values — truncation leaks nothing.
+func (r *Recorder) Reset() { r.spans = r.spans[:0] }
+
 // prefixTracer namespaces another tracer's resource names, so several
 // systems (e.g. one per platform) can share a recorder without their
 // identically-named resources colliding in the output.
