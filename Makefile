@@ -70,7 +70,7 @@ lint:
 # $(BENCHOUT). The gated set lives in BENCH_BASELINE.json; RunAllParallel
 # uses -benchtime=1x because one iteration already runs every experiment.
 bench-run:
-	$(GO) test -run='^$$' -bench='BenchmarkEventKernel|BenchmarkKernelDeep|BenchmarkServer$$|BenchmarkServerTraced' \
+	$(GO) test -run='^$$' -bench='BenchmarkEventKernel|BenchmarkKernelDeep|BenchmarkServer$$|BenchmarkServerSched|BenchmarkServerTraced' \
 		-benchmem -benchtime=0.5s -count=$(BENCHCOUNT) ./internal/sim/ | tee $(BENCHOUT)
 	$(GO) test -run='^$$' -bench='BenchmarkRequestPath' \
 		-benchmem -benchtime=0.5s -count=$(BENCHCOUNT) ./internal/serve/ | tee -a $(BENCHOUT)

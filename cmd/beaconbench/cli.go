@@ -4,7 +4,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"strings"
 
+	"beacongnn/internal/config"
 	"beacongnn/internal/core"
 	"beacongnn/internal/platform"
 )
@@ -41,6 +43,7 @@ func parseCLI(args []string, stderr io.Writer) (*cliConfig, error) {
 		traceOut = fs.String("trace", "", "write a Chrome trace_event JSON request trace to this file and exit")
 		tracePlt = fs.String("trace-platform", "BG-2", "platform to trace with -trace")
 		traceDS  = fs.String("trace-dataset", "amazon", "dataset to trace with -trace")
+		sched    = fs.String("sched", "", "flash scheduling policy for every simulation: fifo, sjf, edf, totalfit (default fifo)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -72,6 +75,14 @@ func parseCLI(args []string, stderr io.Writer) (*cliConfig, error) {
 			return fail("-trace-platform: %v", err)
 		}
 	}
+	var cfg config.Config
+	if *sched != "" {
+		cfg = config.Default()
+		cfg.Sched.Policy = strings.ToLower(strings.TrimSpace(*sched))
+		if err := cfg.Sched.Validate(); err != nil {
+			return fail("-sched: %v", err)
+		}
+	}
 	return &cliConfig{
 		exp:      *exp,
 		list:     *list,
@@ -80,6 +91,7 @@ func parseCLI(args []string, stderr io.Writer) (*cliConfig, error) {
 		tracePlt: *tracePlt,
 		traceDS:  *traceDS,
 		opts: &core.Options{
+			Cfg:        cfg,
 			Quick:      *quick,
 			ScaleNodes: *nodes,
 			Batches:    *batches,

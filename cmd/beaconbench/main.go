@@ -62,6 +62,16 @@ func main() {
 		return
 	}
 	if c.jsonOut {
+		if c.exp == "sched" {
+			rep, err := core.BuildSchedReport(o)
+			if err == nil {
+				err = rep.WriteJSON(os.Stdout)
+			}
+			if err != nil {
+				fatal(err)
+			}
+			return
+		}
 		rep, err := core.BuildReport(o)
 		if err == nil {
 			err = rep.WriteJSON(os.Stdout)

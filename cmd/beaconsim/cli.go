@@ -47,6 +47,7 @@ func parseCLI(args []string, stderr io.Writer) (*cliConfig, error) {
 		parallel = fs.Int("parallel", 0, "concurrent simulations for platform lists (0 = all CPU cores)")
 		traceOut = fs.String("trace", "", "write a Chrome trace_event JSON request trace to this file")
 		check    = fs.Bool("check", false, "verify run invariants (conservation, drain, energy ledger); fail with a named diagnostic")
+		sched    = fs.String("sched", "", "flash scheduling policy: fifo, sjf, edf, totalfit (default fifo)")
 
 		faults    = fs.Bool("faults", false, "enable the NAND reliability model (fault injection, read-retry, recovery)")
 		faultRBER = fs.Float64("fault-rber", 0, "base raw bit error rate override (0 = default)")
@@ -110,6 +111,9 @@ func parseCLI(args []string, stderr io.Writer) (*cliConfig, error) {
 	}
 	if *seed != 0 {
 		cfg.Seed = *seed
+	}
+	if *sched != "" {
+		cfg.Sched.Policy = strings.ToLower(strings.TrimSpace(*sched))
 	}
 	if *faults || *faultRBER > 0 || *faultPE > 0 || *deadDies != "" || *deadChans != "" {
 		cfg.Fault.Enabled = true

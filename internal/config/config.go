@@ -281,6 +281,71 @@ func (f Fault) Validate(fl Flash) error {
 	return nil
 }
 
+// Sched selects the I/O scheduling policy the flash backend applies to
+// its die, sampler, and channel servers (DESIGN.md §11). The empty
+// policy (and "fifo") keeps the default strict-FIFO service — the
+// simulated event sequence is then byte-identical to a build without
+// the scheduling layer.
+type Sched struct {
+	// Policy: "" or "fifo" (default FIFO), "sjf" (shortest job first),
+	// "edf" (earliest deadline first), "totalfit" (DP batch planner).
+	Policy string
+
+	// DeadlineBudget is the EDF completion target per command, measured
+	// from command creation at the platform layer (firmware issue time);
+	// requests reaching a server without an explicit deadline fall back
+	// to arrival + budget.
+	DeadlineBudget sim.Time
+
+	// MaxBatch caps one total-fit batch; BreakPenalty is the quadratic
+	// per-batch-length badness term (0 = windowed SJF, large = FIFO).
+	MaxBatch     int
+	BreakPenalty sim.Time
+}
+
+// SchedPolicies lists the accepted policy names.
+func SchedPolicies() []string { return []string{"fifo", "sjf", "edf", "totalfit"} }
+
+// DefaultSched returns the scheduling defaults: FIFO policy with tuned
+// parameters ready for the non-FIFO policies when one is selected. The
+// EDF budget sits near the p99 command lifetime of the base platforms;
+// the total-fit defaults keep planning cheap on die-depth queues.
+func DefaultSched() Sched {
+	return Sched{
+		Policy:         "",
+		DeadlineBudget: 50 * sim.Microsecond,
+		MaxBatch:       16,
+		BreakPenalty:   200 * sim.Nanosecond,
+	}
+}
+
+// Enabled reports whether a non-FIFO policy is selected.
+func (s Sched) Enabled() bool {
+	return s.Policy != "" && s.Policy != "fifo"
+}
+
+// Validate checks the scheduling section.
+func (s Sched) Validate() error {
+	switch s.Policy {
+	case "", "fifo", "sjf", "totalfit":
+	case "edf":
+		if s.DeadlineBudget <= 0 {
+			return fmt.Errorf("config: EDF deadline budget must be positive, got %v", s.DeadlineBudget)
+		}
+	default:
+		return fmt.Errorf("config: unknown sched policy %q (use one of %v)", s.Policy, SchedPolicies())
+	}
+	if s.Policy == "totalfit" {
+		if s.MaxBatch < 1 {
+			return fmt.Errorf("config: total-fit max batch must be positive, got %d", s.MaxBatch)
+		}
+		if s.BreakPenalty < 0 {
+			return fmt.Errorf("config: total-fit break penalty must be non-negative, got %v", s.BreakPenalty)
+		}
+	}
+	return nil
+}
+
 // Config is the complete platform configuration.
 type Config struct {
 	Flash      Flash
@@ -295,6 +360,7 @@ type Config struct {
 	Energy     Energy
 	Ablation   Ablation
 	Fault      Fault
+	Sched      Sched
 	Seed       uint64
 }
 
@@ -350,6 +416,7 @@ func Default() Config {
 		},
 		GNN:   GNN{Hops: 3, Fanout: 3, HiddenDim: 128, BatchSize: 64, Layers: 3},
 		Fault: DefaultFault(),
+		Sched: DefaultSched(),
 		// Energy constants calibrated to Figure 19's component shares
 		// (see EXPERIMENTS.md). Host CPU compute energy is excluded
 		// from the device-plus-link accounting, matching the paper's
@@ -396,6 +463,9 @@ func (c Config) Validate() error {
 		return fmt.Errorf("config: GNN parameters must be positive")
 	case c.SSDAccel.Rows <= 0 || c.SSDAccel.Cols <= 0 || c.SSDAccel.ClockHz <= 0:
 		return fmt.Errorf("config: accelerator shape must be positive")
+	}
+	if err := c.Sched.Validate(); err != nil {
+		return err
 	}
 	return c.Fault.Validate(c.Flash)
 }

@@ -134,6 +134,7 @@ func Experiments() []Experiment {
 func AllExperiments() []Experiment {
 	return append(Experiments(),
 		Experiment{"reliab", "Reliability: throughput and latency vs wear, RBER, and outages", RunReliability},
+		Experiment{"sched", "Scheduling: flash queueing policies (fifo/sjf/edf/totalfit)", RunSched},
 	)
 }
 

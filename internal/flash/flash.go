@@ -133,6 +133,22 @@ func (b *Backend) SetTracer(t sim.Tracer) {
 	}
 }
 
+// SetSchedulers attaches a fresh queueing policy from mk to every die,
+// per-die sampler, and channel bus (each server needs its own instance —
+// policies hold per-queue state). Call before any traffic is submitted;
+// nil-returning constructors restore the FIFO default. See sim/sched.go.
+func (b *Backend) SetSchedulers(mk func() sim.Scheduler) {
+	for _, d := range b.dies {
+		d.SetScheduler(mk())
+	}
+	for _, s := range b.samplers {
+		s.SetScheduler(mk())
+	}
+	for _, c := range b.channels {
+		c.SetScheduler(mk())
+	}
+}
+
 // Occupancy reports in-service and queued request counts summed over all
 // dies, per-die samplers, and channel buses. Both are zero once a run
 // has drained; the invariant checker polls this at completion.
@@ -186,6 +202,13 @@ func (b *Backend) ReadPage(page uint32, dieExtra sim.Time, senseStart func(sim.T
 // die occupancy of this request; they are reported as a flash.retry span
 // to the tracer.
 func (b *Backend) SensePage(page uint32, dieExtra sim.Time, senseStart func(sim.Time), done func(fault.Outcome)) {
+	b.SensePageDeadline(page, dieExtra, 0, senseStart, done)
+}
+
+// SensePageDeadline is SensePage carrying an EDF completion target for
+// the die (and, when dieExtra > 0, the sampler). Only a deadline-aware
+// scheduler reads it; zero means "no deadline".
+func (b *Backend) SensePageDeadline(page uint32, dieExtra, deadline sim.Time, senseStart func(sim.Time), done func(fault.Outcome)) {
 	die := b.geom.GlobalDie(page)
 	b.reads++
 	if b.OnRead != nil {
@@ -202,8 +225,13 @@ func (b *Backend) SensePage(page uint32, dieExtra sim.Time, senseStart func(sim.
 	}
 	op := sensePool.Get()
 	op.b, op.die, op.dieExtra, op.out = b, die, dieExtra, out
+	op.deadline = deadline
 	op.arrived = b.k.Now()
 	op.senseStart, op.done = senseStart, done
+	if deadline != 0 {
+		b.dies[die].SubmitDeadline(service, deadline, op.fnStart, op.fnDone)
+		return
+	}
 	b.dies[die].SubmitFull(service, op.fnStart, op.fnDone)
 }
 
@@ -214,6 +242,7 @@ type senseOp struct {
 	b          *Backend
 	die        int
 	dieExtra   sim.Time
+	deadline   sim.Time
 	arrived    sim.Time
 	out        fault.Outcome
 	senseStart func(sim.Time)
@@ -268,8 +297,16 @@ func (op *senseOp) onDone() {
 		return
 	}
 	if op.done == nil {
-		b.samplers[op.die].Submit(op.dieExtra, nil)
+		if op.deadline != 0 {
+			b.samplers[op.die].SubmitDeadline(op.dieExtra, op.deadline, nil, nil)
+		} else {
+			b.samplers[op.die].Submit(op.dieExtra, nil)
+		}
 		op.release()
+		return
+	}
+	if op.deadline != 0 {
+		b.samplers[op.die].SubmitDeadline(op.dieExtra, op.deadline, nil, op.fnSampler)
 		return
 	}
 	b.samplers[op.die].Submit(op.dieExtra, op.fnSampler)
@@ -287,16 +324,30 @@ func (b *Backend) Transfer(page uint32, n int, done func()) {
 	b.TransferOnChannel(b.geom.Channel(page), n, done)
 }
 
+// TransferDeadline is Transfer carrying an EDF completion target for the
+// channel bus; zero means "no deadline".
+func (b *Backend) TransferDeadline(page uint32, n int, deadline sim.Time, done func()) {
+	b.transferOn(b.geom.Channel(page), n, deadline, done)
+}
+
 // TransferOnChannel is Transfer with an explicit channel index. Dead
 // channels (injected outages) reroute deterministically to the next
 // healthy bus, whose queue widens to absorb the displaced traffic.
 func (b *Backend) TransferOnChannel(ch, n int, done func()) {
+	b.transferOn(ch, n, 0, done)
+}
+
+func (b *Backend) transferOn(ch, n int, deadline sim.Time, done func()) {
 	b.busBytes += uint64(n)
 	if b.OnTransfer != nil {
 		b.OnTransfer(n)
 	}
 	if b.FaultInjector != nil {
 		ch = b.FaultInjector.RouteChannel(ch)
+	}
+	if deadline != 0 {
+		b.channels[ch].SubmitDeadline(b.cfg.TransferTime(n), deadline, nil, done)
+		return
 	}
 	b.channels[ch].Submit(b.cfg.TransferTime(n), done)
 }

@@ -72,9 +72,17 @@ func bucketOf(d sim.Time) int {
 	return lo
 }
 
-// bucketLow returns the lower bound of bucket b.
-func bucketLow(b int) sim.Time {
-	return sim.Time(math.Pow(1.15, float64(b)))
+// bucketMid returns the midpoint of bucket b's exact integer range
+// [bucketBound[b], bucketBound[b+1]). The old estimator returned the
+// float math.Pow lower bound, which both sat at the bucket floor and
+// could disagree with the exact integer boundaries derived in init.
+func bucketMid(b int) sim.Time {
+	lo := bucketBound[b]
+	hi := lo
+	if b+1 < len(bucketBound) {
+		hi = bucketBound[b+1] - 1
+	}
+	return lo + (hi-lo)/2
 }
 
 // Observe records one duration.
@@ -104,14 +112,22 @@ func (h *Histogram) Mean() sim.Time {
 	return h.sum / sim.Time(h.count)
 }
 
-// Min and Max return the exact extremes.
+// Empty reports whether the histogram has no observations. Min, Max,
+// and Quantile all return 0 on an empty histogram — indistinguishable
+// from an observed 0 — so renderers must check this first.
+func (h *Histogram) Empty() bool { return h.count == 0 }
+
+// Min and Max return the exact extremes (0 when empty; see Empty).
 func (h *Histogram) Min() sim.Time { return h.min }
 
-// Max returns the largest observation.
+// Max returns the largest observation (0 when empty; see Empty).
 func (h *Histogram) Max() sim.Time { return h.max }
 
 // Quantile returns an approximate quantile (q in [0,1]); resolution is
-// the bucket width (±15 %). The exact min/max bound the estimate.
+// the bucket width (±15 %). The estimate is the bucket midpoint of the
+// nearest-rank observation — rank ⌈q·n⌉, so the median of two samples
+// is the smaller one, not always the larger — bounded by the exact
+// min/max.
 func (h *Histogram) Quantile(q float64) sim.Time {
 	if h.count == 0 {
 		return 0
@@ -122,12 +138,15 @@ func (h *Histogram) Quantile(q float64) sim.Time {
 	if q >= 1 {
 		return h.max
 	}
-	target := uint64(q * float64(h.count))
+	rank := uint64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
 	var cum uint64
 	for b, n := range h.buckets {
 		cum += n
-		if cum > target {
-			est := bucketLow(b)
+		if cum >= rank {
+			est := bucketMid(b)
 			if est < h.min {
 				est = h.min
 			}
@@ -140,8 +159,12 @@ func (h *Histogram) Quantile(q float64) sim.Time {
 	return h.max
 }
 
-// String renders count/mean/p50/p99/max.
+// String renders count/mean/p50/p99/max. An empty histogram says so
+// instead of rendering a misleading row of zero durations.
 func (h *Histogram) String() string {
+	if h.count == 0 {
+		return "n=0 (no observations)"
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "n=%d mean=%v p50=%v p99=%v max=%v",
 		h.count, h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.Max())

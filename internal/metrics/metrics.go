@@ -171,7 +171,7 @@ type PhaseQuantile struct {
 func (c *Collector) PhaseQuantiles() []PhaseQuantile {
 	out := make([]PhaseQuantile, 0, numPhases)
 	for i, h := range c.phaseHist {
-		if h == nil {
+		if h == nil || h.Empty() {
 			continue
 		}
 		out = append(out, PhaseQuantile{

@@ -174,6 +174,60 @@ func TestHistogramMonotoneQuantiles(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileRankConvention pins the nearest-rank fix: the
+// estimator used to take rank floor(q·n) with a strict comparison,
+// which walked one observation too far — the median of two samples
+// always came back as the larger one.
+func TestHistogramQuantileRankConvention(t *testing.T) {
+	var h Histogram
+	h.Observe(100 * sim.Microsecond)
+	h.Observe(200 * sim.Microsecond)
+	p50 := h.Quantile(0.5)
+	if p50 >= 200*sim.Microsecond {
+		t.Fatalf("p50 of {100µs, 200µs} = %v, must not be the larger sample", p50)
+	}
+	if p50 < 100*sim.Microsecond {
+		t.Fatalf("p50 = %v below the smaller sample", p50)
+	}
+	// q just above 1/2 crosses into the second observation.
+	if p51 := h.Quantile(0.51); p51 != 200*sim.Microsecond {
+		t.Fatalf("p51 = %v, want the larger sample (clamped exact)", p51)
+	}
+}
+
+// TestHistogramSingleSampleExact pins the midpoint estimator: with one
+// observation every quantile collapses to it exactly (the bucket
+// midpoint is clamped by the true min/max). The old floor-of-bucket
+// estimator returned the float bucket lower bound instead.
+func TestHistogramSingleSampleExact(t *testing.T) {
+	for _, v := range []sim.Time{1, 7, 100, 3 * sim.Microsecond, 999_999} {
+		var h Histogram
+		h.Observe(v)
+		for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+			if got := h.Quantile(q); got != v {
+				t.Fatalf("single sample %v: Quantile(%v) = %v", v, q, got)
+			}
+		}
+	}
+}
+
+func TestHistogramEmptyRendering(t *testing.T) {
+	var h Histogram
+	if !h.Empty() {
+		t.Fatal("fresh histogram not Empty")
+	}
+	if s := h.String(); s != "n=0 (no observations)" {
+		t.Fatalf("empty String() = %q", s)
+	}
+	h.Observe(5)
+	if h.Empty() {
+		t.Fatal("Empty after Observe")
+	}
+	if s := h.String(); s == "n=0 (no observations)" {
+		t.Fatal("non-empty histogram renders as empty")
+	}
+}
+
 func TestHistogramNegativeClamped(t *testing.T) {
 	var h Histogram
 	h.Observe(-5)

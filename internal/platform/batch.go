@@ -292,7 +292,7 @@ func (b *batchState) execDie(cmd sampler.Command, onSense func(), onDone func(*s
 	extra := s.cfg.DieSampler.Fixed + sim.Time(draws)*s.cfg.DieSampler.PerDraw
 	op := execOpPool.Get()
 	op.b, op.cmd, op.onSense, op.onDone = b, cmd, onSense, onDone
-	s.senseManaged(page, extra, op.fnSenseStart, op.fnSenseDone)
+	s.senseManaged(page, extra, s.ioDeadline(cmd.Created), op.fnSenseStart, op.fnSenseDone)
 }
 
 func (op *execOp) onSenseStart(at sim.Time) {
@@ -338,7 +338,7 @@ func (op *execOp) onSenseDone(final uint32) {
 	if op.onSense != nil {
 		op.onSense()
 	}
-	s.backend.Transfer(final, res.BusBytes(), op.fnXferDone)
+	s.backend.TransferDeadline(final, res.BusBytes(), s.ioDeadline(op.cmd.Created), op.fnXferDone)
 }
 
 func (op *execOp) onXferDone() {

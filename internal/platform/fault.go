@@ -39,15 +39,17 @@ func (s *System) resolvePage(p uint32) uint32 {
 
 // senseManaged senses a DirectGraph page with fault handling. done
 // receives the final physical page the data was read from, for the
-// page-bytes lookup and the channel transfer. With no injector the event
-// sequence is identical to backend.ReadPage. The per-sense state lives
-// in a pooled senseCtx whose continuations are bound once (pools.go).
-func (s *System) senseManaged(page uint32, dieExtra sim.Time, senseStart func(sim.Time), done func(final uint32)) {
+// page-bytes lookup and the channel transfer. ioDL is the EDF scheduling
+// deadline threaded to the die (0 = none; see sched.go — distinct from
+// the recovery deadline below). With no injector the event sequence is
+// identical to backend.ReadPage. The per-sense state lives in a pooled
+// senseCtx whose continuations are bound once (pools.go).
+func (s *System) senseManaged(page uint32, dieExtra, ioDL sim.Time, senseStart func(sim.Time), done func(final uint32)) {
 	if s.chk != nil {
 		s.chk.CountSenseRequest()
 	}
 	c := senseCtxPool.Get()
-	c.s, c.page, c.dieExtra = s, page, dieExtra
+	c.s, c.page, c.dieExtra, c.ioDL = s, page, dieExtra, ioDL
 	c.senseStart, c.done = senseStart, done
 	c.attempt, c.deadline = 0, 0
 	s.senseAttempt(c)
@@ -60,7 +62,7 @@ func (s *System) senseAttempt(c *senseCtx) {
 		s.chk.CountRecoverySense()
 	}
 	c.rp = s.resolvePage(c.page)
-	s.backend.SensePage(c.rp, c.dieExtra, c.senseStart, c.fnOutcome)
+	s.backend.SensePageDeadline(c.rp, c.dieExtra, c.ioDL, c.senseStart, c.fnOutcome)
 }
 
 // onOutcome is senseCtx's bound SensePage continuation: the firmware
@@ -108,10 +110,10 @@ func (c *senseCtx) onOutcome(out fault.Outcome) {
 		if s.chk != nil {
 			s.chk.CountRecoverySense()
 		}
-		done, page, dieExtra, senseStart := c.done, c.page, c.dieExtra, c.senseStart
+		done, page, dieExtra, ioDL, senseStart := c.done, c.page, c.dieExtra, c.ioDL, c.senseStart
 		c.release()
 		final := s.resolvePage(page)
-		s.backend.SensePage(final, dieExtra, senseStart, func(fault.Outcome) {
+		s.backend.SensePageDeadline(final, dieExtra, ioDL, senseStart, func(fault.Outcome) {
 			done(s.resolvePage(page))
 		})
 	}

@@ -92,7 +92,7 @@ func (b *batchState) dispatchPage(r nodeRead) {
 func (s *System) flashPageRead(page uint32, created sim.Time, step int, record bool, done func()) {
 	op := pageOpPool.Get()
 	op.s, op.created, op.step, op.record, op.done = s, created, step, record, done
-	s.senseManaged(page, 0, op.fnSenseStart, op.fnSenseDone)
+	s.senseManaged(page, 0, s.ioDeadline(created), op.fnSenseStart, op.fnSenseDone)
 }
 
 func (op *pageOp) onSenseStart(at sim.Time) {
@@ -106,7 +106,7 @@ func (op *pageOp) onSenseStart(at sim.Time) {
 func (op *pageOp) onSenseDone(final uint32) {
 	s := op.s
 	op.senseEnd = s.k.Now()
-	s.backend.Transfer(final, s.cfg.Flash.PageSize, op.fnXferDone)
+	s.backend.TransferDeadline(final, s.cfg.Flash.PageSize, s.ioDeadline(op.created), op.fnXferDone)
 }
 
 func (op *pageOp) onXferDone() {

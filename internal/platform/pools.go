@@ -22,10 +22,11 @@ type senseCtx struct {
 	s          *System
 	page, rp   uint32
 	dieExtra   sim.Time
+	ioDL       sim.Time // EDF scheduling deadline (0 = none)
 	senseStart func(sim.Time)
 	done       func(final uint32)
 	attempt    int
-	deadline   sim.Time
+	deadline   sim.Time // fault-recovery ladder deadline (CmdDeadline)
 
 	fnOutcome func(fault.Outcome)
 	fnRetry   func()

@@ -1,0 +1,44 @@
+package platform
+
+// Scheduling-policy wiring (DESIGN.md §11): maps the config.Sched
+// section onto the sim-level Scheduler constructors and threads EDF
+// deadlines from command creation times into the flash backend. The
+// default (empty or "fifo") policy attaches nothing, keeping the
+// simulated event sequence byte-identical to a build without this file.
+
+import (
+	"fmt"
+
+	"beacongnn/internal/config"
+	"beacongnn/internal/sim"
+)
+
+// newScheduler returns a constructor producing one fresh policy instance
+// per server, or nil for the FIFO default. config.Sched.Validate has
+// already vetted the parameters by the time a System is built.
+func newScheduler(sc config.Sched) (func() sim.Scheduler, error) {
+	switch sc.Policy {
+	case "", "fifo":
+		return nil, nil
+	case "sjf":
+		return func() sim.Scheduler { return sim.NewSJF() }, nil
+	case "edf":
+		budget := sc.DeadlineBudget
+		return func() sim.Scheduler { return sim.NewEDF(budget) }, nil
+	case "totalfit":
+		maxBatch, penalty := sc.MaxBatch, sc.BreakPenalty
+		return func() sim.Scheduler { return sim.NewTotalFit(maxBatch, penalty) }, nil
+	}
+	return nil, fmt.Errorf("platform: unknown sched policy %q", sc.Policy)
+}
+
+// ioDeadline converts a command creation time into the EDF completion
+// target carried to the flash servers. Zero (every non-EDF policy)
+// means "no deadline": requests then fall back to the scheduler's own
+// default and the FIFO fast path stays closure-free.
+func (s *System) ioDeadline(created sim.Time) sim.Time {
+	if s.schedBudget == 0 {
+		return 0
+	}
+	return created + s.schedBudget
+}

@@ -1,0 +1,97 @@
+package platform
+
+import (
+	"reflect"
+	"testing"
+
+	"beacongnn/internal/config"
+)
+
+// runSched simulates BG-2 on the shared test instance under a policy.
+func runSched(t *testing.T, policy string) *Result {
+	t.Helper()
+	inst := testInstance(t)
+	cfg := config.Default()
+	cfg.GNN.BatchSize = 32
+	cfg.Sched.Policy = policy
+	r, err := Simulate(BG2, cfg, inst, 2, 256)
+	if err != nil {
+		t.Fatalf("policy %q: %v", policy, err)
+	}
+	return r
+}
+
+// TestSchedFIFOByteIdentical pins the zero-cost default: asking for
+// "fifo" explicitly must take the exact unscheduled path — every field
+// of the result, timelines and histograms included, identical to the
+// default (empty-policy) configuration.
+func TestSchedFIFOByteIdentical(t *testing.T) {
+	def := runSched(t, "")
+	fifo := runSched(t, "fifo")
+	if !reflect.DeepEqual(def, fifo) {
+		t.Fatalf("explicit fifo diverged from default:\ndefault: %+v\nfifo:    %+v", def, fifo)
+	}
+}
+
+// TestSchedPoliciesConserveWork: whatever order a policy serves flash
+// requests in, the demand itself is invariant — every target is served
+// and every batch completes. Command and flash-read counts may move
+// slightly (page coalescing windows are timing-dependent), but never
+// collapse or explode.
+func TestSchedPoliciesConserveWork(t *testing.T) {
+	base := runSched(t, "fifo")
+	for _, policy := range []string{"sjf", "edf", "totalfit"} {
+		r := runSched(t, policy)
+		if r.Targets != base.Targets || r.Batches != base.Batches {
+			t.Fatalf("%s: targets/batches = %d/%d, fifo = %d/%d",
+				policy, r.Targets, r.Batches, base.Targets, base.Batches)
+		}
+		if r.Commands < base.Commands/2 || r.Commands > base.Commands*2 {
+			t.Fatalf("%s: commands = %d, fifo = %d (outside 2x band)",
+				policy, r.Commands, base.Commands)
+		}
+		if r.FlashReads == 0 || r.BusBytes == 0 {
+			t.Fatalf("%s: no flash traffic recorded", policy)
+		}
+		if r.Elapsed <= 0 || r.Throughput <= 0 {
+			t.Fatalf("%s: degenerate result %v/%v", policy, r.Elapsed, r.Throughput)
+		}
+	}
+}
+
+// TestSchedPolicyDeterministic: a scheduled run is as reproducible as a
+// FIFO one — the heaps break ties by submission sequence, never map or
+// pointer order.
+func TestSchedPolicyDeterministic(t *testing.T) {
+	for _, policy := range []string{"sjf", "totalfit"} {
+		a := runSched(t, policy)
+		b := runSched(t, policy)
+		if a.Elapsed != b.Elapsed || a.Throughput != b.Throughput || a.CmdLifetime != b.CmdLifetime {
+			t.Fatalf("%s: same-seed runs differ: %v/%v vs %v/%v",
+				policy, a.Elapsed, a.Throughput, b.Elapsed, b.Throughput)
+		}
+	}
+}
+
+// TestSchedRejectedPolicies: config validation refuses unknown policies
+// and broken parameters before any system is built.
+func TestSchedRejectedPolicies(t *testing.T) {
+	inst := testInstance(t)
+	bad := config.Default()
+	bad.Sched.Policy = "lifo"
+	if _, err := Simulate(BG2, bad, inst, 1, 0); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	bad2 := config.Default()
+	bad2.Sched.Policy = "edf"
+	bad2.Sched.DeadlineBudget = 0
+	if _, err := Simulate(BG2, bad2, inst, 1, 0); err == nil {
+		t.Error("edf with zero budget accepted")
+	}
+	bad3 := config.Default()
+	bad3.Sched.Policy = "totalfit"
+	bad3.Sched.MaxBatch = 0
+	if _, err := Simulate(BG2, bad3, inst, 1, 0); err == nil {
+		t.Error("totalfit with zero batch accepted")
+	}
+}

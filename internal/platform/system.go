@@ -65,6 +65,10 @@ type System struct {
 	failErr    error // first unrecoverable device error; set via fail()
 	retireWear int   // wear-caused retirements since the last relocation
 
+	// schedBudget is cfg.Sched.DeadlineBudget when the EDF policy is
+	// active, 0 otherwise; see ioDeadline in sched.go.
+	schedBudget sim.Time
+
 	// ctx, when bound, lets the event loop observe request abandonment;
 	// see BindContext.
 	ctx context.Context
@@ -137,6 +141,13 @@ func NewSystem(kind Kind, cfg config.Config, inst *dataset.Instance, timelinePoi
 	if err != nil {
 		return nil, err
 	}
+	mkSched, err := newScheduler(cfg.Sched)
+	if err != nil {
+		return nil, err
+	}
+	if mkSched != nil {
+		backend.SetSchedulers(mkSched)
+	}
 	fw, err := firmware.NewProcessor(k, cfg.Firmware)
 	if err != nil {
 		return nil, err
@@ -179,6 +190,9 @@ func NewSystem(kind Kind, cfg config.Config, inst *dataset.Instance, timelinePoi
 	}
 	if s.layout.PageSize != cfg.Flash.PageSize {
 		return nil, fmt.Errorf("platform: dataset built with %d B pages, flash has %d B", s.layout.PageSize, cfg.Flash.PageSize)
+	}
+	if cfg.Sched.Policy == "edf" {
+		s.schedBudget = cfg.Sched.DeadlineBudget
 	}
 	s.build = inst.Build
 	if cfg.Fault.Enabled {

@@ -55,11 +55,20 @@ func (s *Server) admit(w http.ResponseWriter) (release func(), ok bool) {
 	return func() { g.Add(-1); s.adm.release() }, true
 }
 
+// Simulate latencies are tracked per cache outcome: memo hits return in
+// microseconds and would drag the median far below the cost of the
+// simulations a shed client is actually queueing behind.
+const (
+	simulateMissSummary = `beaconserved_request_seconds{endpoint="simulate",cache="miss"}`
+	simulateHitSummary  = `beaconserved_request_seconds{endpoint="simulate",cache="hit"}`
+)
+
 // retryAfterSeconds estimates when a shed client should come back: the
-// time for one pool turn to drain at the observed median request
-// latency, floored at 1s. With no history it answers 1.
+// time for one pool turn to drain at the observed median cache-miss
+// request latency, floored at 1s. Cache hits never occupy a worker for
+// long, so they are excluded; with no miss history it answers 1.
 func (s *Server) retryAfterSeconds() int {
-	count, _, qs := s.reg.Summary(`beaconserved_request_seconds{endpoint="simulate"}`).Snapshot(0.5)
+	count, _, qs := s.reg.Summary(simulateMissSummary).Snapshot(0.5)
 	if count == 0 {
 		return 1
 	}
@@ -102,8 +111,11 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
+	// Requests that fail before the cache lookup still did miss-side work
+	// (instance build), so the label defaults to miss.
+	latency := simulateMissSummary
 	defer func() {
-		s.reg.Summary(`beaconserved_request_seconds{endpoint="simulate"}`).Observe(time.Since(start))
+		s.reg.Summary(latency).Observe(time.Since(start))
 	}()
 
 	ctx, cancel := context.WithTimeout(r.Context(), job.timeout)
@@ -122,6 +134,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	key := exp.Key(job.kind, job.cfg, inst, job.batches, simTimelinePoints)
 	hit := s.eng.Cached(key)
 	if hit {
+		latency = simulateHitSummary
 		s.reg.Counter("beaconserved_cache_hits_total").Inc()
 	} else {
 		s.reg.Counter("beaconserved_cache_misses_total").Inc()

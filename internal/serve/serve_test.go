@@ -234,6 +234,34 @@ func TestSheddingReturns429WithRetryAfter(t *testing.T) {
 	}
 }
 
+// TestRetryAfterIgnoresCacheHits pins the shed-estimate fix: near-instant
+// cache hits must not drag the Retry-After median below the cost of the
+// real simulations a shed client queues behind.
+func TestRetryAfterIgnoresCacheHits(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	for i := 0; i < 50; i++ {
+		s.reg.Summary(simulateHitSummary).Observe(2 * time.Millisecond)
+	}
+	s.reg.Summary(simulateMissSummary).Observe(4 * time.Second)
+	if !s.adm.tryAcquire() {
+		t.Fatal("could not acquire admission slot")
+	}
+	defer s.adm.release()
+	if got := s.retryAfterSeconds(); got < 4 {
+		t.Fatalf("retryAfterSeconds = %d, want >= 4 (miss median 4s, 1 worker, 1 inflight)", got)
+	}
+
+	// Hit-only history gives no signal about simulation cost: fall back
+	// to the no-history default instead of the hits' microsecond median.
+	s2 := newTestServer(t, Config{Workers: 1})
+	for i := 0; i < 50; i++ {
+		s2.reg.Summary(simulateHitSummary).Observe(2 * time.Millisecond)
+	}
+	if got := s2.retryAfterSeconds(); got != 1 {
+		t.Fatalf("retryAfterSeconds with hit-only history = %d, want 1", got)
+	}
+}
+
 func TestDrainRefusesNewWorkAndFlipsHealthz(t *testing.T) {
 	s := newTestServer(t, Config{Workers: 1})
 	if w := get(t, s, "/healthz"); w.Code != http.StatusOK || !strings.Contains(w.Body.String(), `"ok"`) {
@@ -272,7 +300,8 @@ func TestMetricsExposition(t *testing.T) {
 		"beaconserved_cache_misses_total 1",
 		"beaconserved_uptime_seconds",
 		"# TYPE beaconserved_request_seconds summary",
-		`beaconserved_request_seconds_count{endpoint="simulate"} 2`,
+		`beaconserved_request_seconds_count{endpoint="simulate",cache="miss"} 1`,
+		`beaconserved_request_seconds_count{endpoint="simulate",cache="hit"} 1`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("metrics missing %q in:\n%s", want, body)

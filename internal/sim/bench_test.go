@@ -66,6 +66,27 @@ func BenchmarkServer(b *testing.B) {
 	}
 }
 
+// BenchmarkServerSched is BenchmarkServer with an SJF policy attached:
+// the heap push/pop replaces the ring pop, with varied service times so
+// the heap actually reorders.
+func BenchmarkServerSched(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := New()
+		s := NewServer(k, 4)
+		s.SetScheduler(NewSJF())
+		done := 0
+		cb := func() { done++ }
+		for j := 0; j < 4096; j++ {
+			s.Submit(Time(j%13+1), cb)
+		}
+		k.Run()
+		if done != 4096 {
+			b.Fatalf("done = %d", done)
+		}
+	}
+}
+
 // nullTracer is the cheapest possible Tracer — the benchmark below
 // isolates the cost of the hook dispatch itself.
 type nullTracer struct{ spans int }

@@ -334,6 +334,12 @@ type Server struct {
 	// so steady-state request processing allocates nothing.
 	slots []inService
 	free  []int32
+	// sched, when non-nil, replaces the FIFO above for waiting requests
+	// (see sched.go). subSeq numbers submissions for deterministic
+	// tie-breaking inside policies; it only advances on the scheduled
+	// path, so the default FIFO behaviour is bit-for-bit unchanged.
+	sched  Scheduler
+	subSeq uint64
 }
 
 type serverReq struct {
@@ -344,6 +350,12 @@ type serverReq struct {
 	// doneDelay defers done by a fixed post-service latency (Pipe
 	// transfers) without a wrapper closure.
 	doneDelay Time
+	// deadline is the EDF completion target (0 = none; the policy
+	// derives one from arrival). Ignored by every other policy.
+	deadline Time
+	// seq is the submission sequence number, assigned only when a
+	// scheduler is attached; policies use it as the FIFO tiebreaker.
+	seq uint64
 }
 
 // inService is the slot-table record of one request in service.
@@ -374,6 +386,20 @@ func (s *Server) SetTracer(t Tracer, resource string, lane int) {
 	s.tracer, s.tname, s.tlane = t, resource, lane
 }
 
+// SetScheduler attaches a queueing policy (see sched.go); nil restores
+// the default FIFO. It must be called while the server is quiescent —
+// switching policies with requests waiting would strand them in the
+// previous queue structure.
+func (s *Server) SetScheduler(sc Scheduler) {
+	if s.QueueLen() > 0 {
+		panic("sim: SetScheduler with requests waiting")
+	}
+	s.sched = sc
+}
+
+// Scheduler returns the attached policy (nil = FIFO).
+func (s *Server) Scheduler() Scheduler { return s.sched }
+
 // Width returns the number of parallel servers.
 func (s *Server) Width() int { return s.width }
 
@@ -381,7 +407,12 @@ func (s *Server) Width() int { return s.width }
 func (s *Server) Busy() int { return s.busy }
 
 // QueueLen returns the number of waiting (not yet started) requests.
-func (s *Server) QueueLen() int { return len(s.queue) - s.head }
+func (s *Server) QueueLen() int {
+	if s.sched != nil {
+		return s.sched.size()
+	}
+	return len(s.queue) - s.head
+}
 
 // popFront removes and returns the oldest waiting request.
 func (s *Server) popFront() serverReq {
@@ -425,6 +456,13 @@ func (s *Server) SubmitDelayed(service, extra Time, done func()) {
 	s.submit(serverReq{service: service, done: done, doneDelay: extra})
 }
 
+// SubmitDeadline enqueues a request carrying an EDF completion target.
+// Only a deadline-aware scheduler reads it; under every other policy
+// (including the FIFO default) this is identical to SubmitFull.
+func (s *Server) SubmitDeadline(service, deadline Time, start func(Time), done func()) {
+	s.submit(serverReq{service: service, start: start, done: done, deadline: deadline})
+}
+
 func (s *Server) submit(r serverReq) {
 	if r.service < 0 {
 		panic("sim: negative service time")
@@ -432,6 +470,12 @@ func (s *Server) submit(r serverReq) {
 	r.arrived = s.k.Now()
 	if s.busy < s.width {
 		s.begin(r)
+		return
+	}
+	if s.sched != nil {
+		s.subSeq++
+		r.seq = s.subSeq
+		s.sched.push(r)
 		return
 	}
 	s.queue = append(s.queue, r)
@@ -474,11 +518,17 @@ func (s *Server) complete(slot int32) {
 	if s.tracer != nil {
 		s.tracer.ServerSpan(s.tname, s.tlane, r.arrived, r.startAt, s.k.Now())
 	}
-	// Hand the freed slot to the oldest waiter before running done:
+	// Hand the freed slot to the chosen waiter before running done:
 	// a Submit issued synchronously from the completion callback
 	// would otherwise see busy < width and begin service at once,
 	// jumping ahead of requests that arrived earlier.
-	if s.QueueLen() > 0 && s.busy < s.width {
+	if s.sched != nil {
+		if s.busy < s.width {
+			if w, ok := s.sched.pop(); ok {
+				s.begin(w)
+			}
+		}
+	} else if s.QueueLen() > 0 && s.busy < s.width {
 		s.begin(s.popFront())
 	}
 	switch {

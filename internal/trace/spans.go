@@ -180,5 +180,8 @@ func (r *Recorder) BreakdownTable() string {
 }
 
 func quantileCell(h *metrics.Histogram) string {
+	if h.Empty() {
+		return "- / - / -"
+	}
 	return fmt.Sprintf("%v / %v / %v", h.Quantile(0.5), h.Quantile(0.95), h.Quantile(0.99))
 }
