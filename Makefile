@@ -7,7 +7,7 @@ BENCHREPORT ?= bench_report.txt
 PROFILEDIR ?= profiles
 
 .PHONY: build test race vet bench check cover invariants fuzz-smoke \
-	lint bench-run bench-gate bench-baseline smoke profile
+	lint bench-run bench-gate bench-baseline smoke smoke-chaos profile
 
 build:
 	$(GO) build ./...
@@ -112,6 +112,12 @@ profile:
 # SIGTERM, assert a clean drain. See ci/smoke_beaconserved.sh.
 smoke:
 	./ci/smoke_beaconserved.sh
+
+# Chaos/resilience smoke: armed fault injection against a live daemon
+# must serve degraded 200s (never 5xx) while the breaker is open, and
+# the -exp chaos sweep must be byte-identical across -parallel widths.
+smoke-chaos:
+	./ci/smoke_chaos.sh
 
 # Tier-1 verification: everything CI gates on.
 check: build vet test race invariants

@@ -19,6 +19,9 @@ type cliConfig struct {
 	traceOut string
 	tracePlt string
 	traceDS  string
+	drive    string
+	driveN   int
+	driveC   int
 	opts     *core.Options
 }
 
@@ -44,6 +47,9 @@ func parseCLI(args []string, stderr io.Writer) (*cliConfig, error) {
 		tracePlt = fs.String("trace-platform", "BG-2", "platform to trace with -trace")
 		traceDS  = fs.String("trace-dataset", "amazon", "dataset to trace with -trace")
 		sched    = fs.String("sched", "", "flash scheduling policy for every simulation: fifo, sjf, edf, totalfit (default fifo)")
+		drive    = fs.String("drive", "", "drive a live beaconserved at this base URL and report availability")
+		driveN   = fs.Int("drive-requests", 60, "requests to issue with -drive")
+		driveC   = fs.Int("drive-concurrency", 4, "concurrent clients with -drive")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -65,7 +71,10 @@ func parseCLI(args []string, stderr io.Writer) (*cliConfig, error) {
 	if *parallel < 0 {
 		return fail("-parallel must be non-negative (0 = all CPU cores), got %d", *parallel)
 	}
-	if !*list && *exp != "all" {
+	if *drive != "" && (*driveN <= 0 || *driveC <= 0) {
+		return fail("-drive-requests and -drive-concurrency must be positive")
+	}
+	if !*list && *drive == "" && *exp != "all" {
 		if _, err := core.ByID(*exp); err != nil {
 			return fail("%v", err)
 		}
@@ -90,6 +99,9 @@ func parseCLI(args []string, stderr io.Writer) (*cliConfig, error) {
 		traceOut: *traceOut,
 		tracePlt: *tracePlt,
 		traceDS:  *traceDS,
+		drive:    *drive,
+		driveN:   *driveN,
+		driveC:   *driveC,
 		opts: &core.Options{
 			Cfg:        cfg,
 			Quick:      *quick,

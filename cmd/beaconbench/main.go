@@ -11,6 +11,7 @@
 //	beaconbench -exp fig18 -full-resim # bypass all caches; resimulate from scratch
 //	beaconbench -list               # available experiment ids
 //	beaconbench -trace out.json -trace-platform BG-2   # request trace
+//	beaconbench -drive http://localhost:8080 -drive-requests 100   # live availability drill
 //
 // Simulations fan out across -parallel workers (default: all CPU
 // cores); output is byte-identical for any worker count, including
@@ -43,6 +44,12 @@ func main() {
 	if c.list {
 		for _, e := range core.AllExperiments() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if c.drive != "" {
+		if err := runDrive(c.drive, c.driveN, c.driveC, os.Stdout); err != nil {
+			fatal(err)
 		}
 		return
 	}

@@ -10,6 +10,17 @@
 //	beaconserved                              # listen on :8080
 //	beaconserved -addr 127.0.0.1:9090 -workers 8 -queue-depth 32
 //	beaconserved -pprof                       # expose /debug/pprof/
+//	beaconserved -hedge-after 2s -breaker-threshold 5   # tune resilience
+//	beaconserved -chaos-engine-fail-rate 0.3 -chaos-seed 7  # armed fault injection
+//
+// Requests are served through a resilience stack: transient engine
+// faults retry under a token budget with jittered exponential backoff,
+// stalled simulations can race a hedged duplicate, and a per-
+// (platform, dataset) circuit breaker sheds to degraded mode — stale
+// last-known-good results marked with X-Degraded/Warning headers —
+// instead of failing. The -chaos-* flags arm the deterministic fault
+// injector (internal/chaos) for drills; all injection is off by
+// default and costs nothing when disabled.
 //
 // Endpoints:
 //
@@ -35,6 +46,7 @@ import (
 	"syscall"
 	"time"
 
+	"beacongnn/internal/chaos"
 	"beacongnn/internal/serve"
 )
 
@@ -55,7 +67,29 @@ func run(args []string) int {
 		maxNodes     = fs.Int("max-nodes", 0, "largest materialized graph a request may ask for (0 = 200000)")
 		check        = fs.Bool("check", false, "verify run invariants on every simulation")
 		pprofOn      = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
-		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on shutdown")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "hard drain deadline: in-flight requests past it are cancelled")
+
+		maxAttempts  = fs.Int("max-attempts", 0, "tries per request against transient faults incl. the first (0 = 3)")
+		retryBudget  = fs.Float64("retry-budget", 0, "retry-budget earn ratio (0 = 0.2, negative disables retries)")
+		retryBackoff = fs.Duration("retry-backoff", 0, "exponential retry backoff base (0 = 50ms)")
+		retryBackMax = fs.Duration("retry-backoff-max", 0, "retry backoff ceiling (0 = 2s)")
+		hedgeAfter   = fs.Duration("hedge-after", 0, "launch a duplicate simulation after this stall (0 = hedging off)")
+		brkThreshold = fs.Int("breaker-threshold", 0, "consecutive failures tripping a family's circuit breaker (0 = 5)")
+		brkCooldown  = fs.Duration("breaker-cooldown", 0, "breaker open dwell before a half-open probe (0 = 10s)")
+		staleCap     = fs.Int("stale-cap", 0, "LRU cap on last-known-good results for degraded mode (0 = 64)")
+		retryCeiling = fs.Duration("retry-after-ceiling", 0, "cap on the Retry-After estimate sent to shed clients (0 = 60s)")
+
+		chaosSeed       = fs.Uint64("chaos-seed", 0, "chaos injection schedule seed")
+		chaosFailRate   = fs.Float64("chaos-engine-fail-rate", 0, "P(simulation run fails transiently)")
+		chaosFailAfter  = fs.Uint64("chaos-engine-fail-after", 0, "grace period: first N runs are immune to engine faults")
+		chaosStallRate  = fs.Float64("chaos-engine-stall-rate", 0, "P(simulation run stalls holding its worker slot)")
+		chaosStall      = fs.Duration("chaos-engine-stall", 0, "injected engine stall duration (0 = 50ms)")
+		chaosEvictRate  = fs.Float64("chaos-evict-rate", 0, "P(simulation run triggers a memo eviction storm)")
+		chaosEvictBurst = fs.Int("chaos-evict-burst", 0, "memo entries dropped per eviction storm (0 = 4)")
+		chaosDropRate   = fs.Float64("chaos-http-drop-rate", 0, "P(request refused with 503 before handling)")
+		chaosLatRate    = fs.Float64("chaos-http-latency-rate", 0, "P(request delayed before handling)")
+		chaosLatency    = fs.Duration("chaos-http-latency", 0, "injected HTTP delay (0 = 100ms)")
+		chaosTruncRate  = fs.Float64("chaos-http-trunc-rate", 0, "P(response body truncated mid-stream)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -65,16 +99,51 @@ func run(args []string) int {
 	}
 	logger := log.New(os.Stderr, "beaconserved: ", log.LstdFlags)
 
+	ccfg := chaos.Config{
+		Seed:            *chaosSeed,
+		EngineFailRate:  *chaosFailRate,
+		EngineFailAfter: *chaosFailAfter,
+		EngineStallRate: *chaosStallRate,
+		EngineStall:     *chaosStall,
+		EvictRate:       *chaosEvictRate,
+		EvictBurst:      *chaosEvictBurst,
+		HTTPDropRate:    *chaosDropRate,
+		HTTPLatencyRate: *chaosLatRate,
+		HTTPLatency:     *chaosLatency,
+		HTTPTruncRate:   *chaosTruncRate,
+	}
+	ccfg.Enabled = ccfg.EngineFailRate > 0 || ccfg.EngineStallRate > 0 ||
+		ccfg.EvictRate > 0 || ccfg.HTTPDropRate > 0 || ccfg.HTTPLatencyRate > 0 ||
+		ccfg.HTTPTruncRate > 0
+	if err := ccfg.Validate(); err != nil {
+		logger.Print(err)
+		return 2
+	}
+	if ccfg.Enabled {
+		logger.Printf("CHAOS INJECTION ARMED (seed %d) — this daemon will fault on purpose", ccfg.Seed)
+	}
+
 	srv := serve.New(serve.Config{
-		Workers:        *workers,
-		QueueDepth:     *queueDepth,
-		CacheResults:   *cacheResults,
-		CacheInstances: *cacheInsts,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		MaxNodes:       *maxNodes,
-		Check:          *check,
-		EnablePprof:    *pprofOn,
+		Workers:           *workers,
+		QueueDepth:        *queueDepth,
+		CacheResults:      *cacheResults,
+		CacheInstances:    *cacheInsts,
+		DefaultTimeout:    *timeout,
+		MaxTimeout:        *maxTimeout,
+		MaxNodes:          *maxNodes,
+		Check:             *check,
+		EnablePprof:       *pprofOn,
+		MaxAttempts:       *maxAttempts,
+		RetryBudgetRatio:  *retryBudget,
+		RetryBackoffBase:  *retryBackoff,
+		RetryBackoffMax:   *retryBackMax,
+		HedgeAfter:        *hedgeAfter,
+		BreakerThreshold:  *brkThreshold,
+		BreakerCooldown:   *brkCooldown,
+		StaleCap:          *staleCap,
+		RetryAfterCeiling: *retryCeiling,
+		DrainTimeout:      *drainTimeout,
+		Chaos:             ccfg,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -98,9 +167,20 @@ func run(args []string) int {
 	case <-ctx.Done():
 	}
 
-	logger.Printf("signal received; draining (timeout %v)", *drainTimeout)
+	logger.Printf("signal received; draining (hard deadline %v)", *drainTimeout)
 	srv.BeginDrain()
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	// Hard drain deadline: past it, stragglers are cancelled through
+	// their per-request contexts (aborting simulation kernels mid-run)
+	// rather than holding shutdown hostage. The Shutdown context gets a
+	// short grace on top so cancelled handlers can still write their
+	// error responses and the drain counts as clean.
+	deadline := time.AfterFunc(*drainTimeout, func() {
+		if n := srv.CancelInflight(); n > 0 {
+			logger.Printf("drain deadline reached; cancelled %d in-flight request(s)", n)
+		}
+	})
+	defer deadline.Stop()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout+5*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		logger.Printf("drain incomplete: %v", err)

@@ -54,6 +54,10 @@ func parseCLI(args []string, stderr io.Writer) (*cliConfig, error) {
 		faultPE   = fs.Int("fault-pe", 0, "initial P/E cycle count on every block (wear)")
 		deadDies  = fs.String("fault-dead-dies", "", "comma-separated global die indices to inject as failed")
 		deadChans = fs.String("fault-dead-channels", "", "comma-separated channel indices to inject as failed")
+
+		stormStart = fs.Duration("fault-storm-start", 0, "uncorrectable-storm window start (simulated time)")
+		stormEnd   = fs.Duration("fault-storm-end", 0, "uncorrectable-storm window end (simulated time)")
+		stormRBER  = fs.Float64("fault-storm-rber", 0, "additive RBER excursion inside the storm window (enables the fault model)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -92,6 +96,15 @@ func parseCLI(args []string, stderr io.Writer) (*cliConfig, error) {
 	if *faultRBER < 0 {
 		return fail("-fault-rber must be non-negative, got %g", *faultRBER)
 	}
+	if *stormRBER < 0 {
+		return fail("-fault-storm-rber must be non-negative, got %g", *stormRBER)
+	}
+	if *stormStart < 0 || *stormEnd < 0 {
+		return fail("-fault-storm-start/-end must be non-negative")
+	}
+	if *stormRBER > 0 && *stormEnd <= *stormStart {
+		return fail("-fault-storm-end (%v) must exceed -fault-storm-start (%v)", *stormEnd, *stormStart)
+	}
 
 	cfg := config.Default()
 	if *batch > 0 {
@@ -115,7 +128,7 @@ func parseCLI(args []string, stderr io.Writer) (*cliConfig, error) {
 	if *sched != "" {
 		cfg.Sched.Policy = strings.ToLower(strings.TrimSpace(*sched))
 	}
-	if *faults || *faultRBER > 0 || *faultPE > 0 || *deadDies != "" || *deadChans != "" {
+	if *faults || *faultRBER > 0 || *faultPE > 0 || *deadDies != "" || *deadChans != "" || *stormRBER > 0 {
 		cfg.Fault.Enabled = true
 		if *faultRBER > 0 {
 			cfg.Fault.BaseRBER = *faultRBER
@@ -133,6 +146,11 @@ func parseCLI(args []string, stderr io.Writer) (*cliConfig, error) {
 			return fail("-fault-dead-channels: %v", err)
 		}
 		cfg.Fault.DeadChannels = dc
+		if *stormRBER > 0 {
+			cfg.Fault.StormStart = sim.Duration(*stormStart)
+			cfg.Fault.StormEnd = sim.Duration(*stormEnd)
+			cfg.Fault.StormRBER = *stormRBER
+		}
 	}
 	if err := cfg.Validate(); err != nil {
 		return fail("%v", err)

@@ -1,0 +1,59 @@
+package chaos
+
+import "sync"
+
+// RetryBudget is a token bucket that bounds retries to a fraction of
+// fresh request traffic — the standard defense against retry storms:
+// when the backend is healthy the budget is never touched; when it is
+// down, retries self-limit to Ratio of offered load instead of
+// multiplying it by MaxAttempts. Safe for concurrent use.
+type RetryBudget struct {
+	mu     sync.Mutex
+	ratio  float64 // tokens earned per fresh request
+	burst  float64 // token cap
+	tokens float64
+	spent  uint64 // retries granted
+	denied uint64 // retries refused
+}
+
+// NewRetryBudget builds a budget earning ratio tokens per fresh
+// request, capped at burst (default 10 when <= 0). A ratio <= 0
+// disables retries entirely. The bucket starts full so cold-start
+// failures can still retry.
+func NewRetryBudget(ratio float64, burst float64) *RetryBudget {
+	if burst <= 0 {
+		burst = 10
+	}
+	return &RetryBudget{ratio: ratio, burst: burst, tokens: burst}
+}
+
+// Earn credits the budget for one fresh (non-retry) request.
+func (rb *RetryBudget) Earn() {
+	rb.mu.Lock()
+	rb.tokens += rb.ratio
+	if rb.tokens > rb.burst {
+		rb.tokens = rb.burst
+	}
+	rb.mu.Unlock()
+}
+
+// Spend consumes one retry token, reporting whether the retry is
+// allowed.
+func (rb *RetryBudget) Spend() bool {
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	if rb.ratio <= 0 || rb.tokens < 1 {
+		rb.denied++
+		return false
+	}
+	rb.tokens--
+	rb.spent++
+	return true
+}
+
+// Stats returns lifetime granted and denied retry counts.
+func (rb *RetryBudget) Stats() (spent, denied uint64) {
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	return rb.spent, rb.denied
+}

@@ -1,0 +1,254 @@
+package chaos
+
+import (
+	"fmt"
+
+	"beacongnn/internal/metrics"
+	"beacongnn/internal/sim"
+)
+
+// PipelineConfig parameterizes one availability run: an open-loop
+// stream of requests against a W-way service center whose behaviour
+// degrades inside a fault window, fronted by the full resilience stack
+// (retry budget, exponential backoff with deterministic jitter,
+// hedging, circuit breaker with degraded fallback).
+type PipelineConfig struct {
+	Requests int      // offered load: one request every Interval
+	Interval sim.Time // inter-arrival gap
+	Workers  int      // service-center width
+	Service  sim.Time // healthy service time per attempt
+
+	// Fault window: between Window[0] and Window[1] (attempt start
+	// times), the rates below apply and service inflates to
+	// FaultService when set.
+	Window       [2]sim.Time
+	FaultService sim.Time // in-window service time (0 = unchanged)
+	FailRate     float64  // P(attempt fails) in-window
+	StallRate    float64  // P(attempt stalls) in-window
+	StallFactor  float64  // stalled service multiplier (default 6)
+	DropRate     float64  // P(request dropped at the front door) in-window
+
+	// Resilience stack.
+	MaxAttempts int     // total tries per request incl. the first (default 3)
+	Backoff     Backoff // retry delay, sim.Time units
+	BudgetRatio float64 // retry-budget earn rate (0 disables retries)
+	HedgeAfter  sim.Time
+	Breaker     BreakerConfig // cooldown in sim.Time units
+	SLOTarget   float64       // availability objective, e.g. 0.999
+
+	Seed   uint64     // decision stream seed
+	Tracer sim.Tracer // optional: receives chaos.attempt spans
+}
+
+func (c *PipelineConfig) withDefaults() PipelineConfig {
+	out := *c
+	if out.Workers <= 0 {
+		out.Workers = 4
+	}
+	if out.MaxAttempts <= 0 {
+		out.MaxAttempts = 3
+	}
+	if out.StallFactor <= 0 {
+		out.StallFactor = 6
+	}
+	if out.SLOTarget <= 0 || out.SLOTarget >= 1 {
+		out.SLOTarget = 0.999
+	}
+	return out
+}
+
+// Report is the outcome of one pipeline run. Counts partition
+// Requests: OK + Degraded + Failed + Dropped == Requests.
+type Report struct {
+	Requests int
+	OK       int // full successes
+	Degraded int // served stale under an open breaker
+	Failed   int // hard failures (no stale available or retries exhausted)
+	Dropped  int // refused at the front door
+
+	Retries   int
+	Hedges    int
+	HedgeWins int
+
+	BreakerTrips uint64
+	Availability float64  // (OK + Degraded) / Requests
+	Goodput      float64  // OK per second of makespan
+	BudgetBurn   float64  // observed failure rate / (1 - SLOTarget)
+	P50, P99     sim.Time // full-success end-to-end latency
+	P999         sim.Time
+	MTTR         sim.Time // mean breaker open dwell per recovery (0 if never tripped)
+	Makespan     sim.Time
+}
+
+// pipeReq is one logical request's mutable state in the event loop.
+type pipeReq struct {
+	id       uint64
+	arrived  sim.Time
+	attempt  int  // attempts launched so far
+	settled  bool // a terminal outcome was recorded
+	hedgeIdx int  // attempt index of the hedge launch (-1 = none)
+	inflight int  // attempts currently in service
+}
+
+// RunPipeline executes the availability model in virtual time. The
+// event loop is strictly single-threaded and every stochastic decision
+// is a pure function of (Seed, site, request id, attempt), so the
+// report is identical across processes and -parallel widths.
+func RunPipeline(cfg PipelineConfig) Report {
+	c := cfg.withDefaults()
+	k := sim.New()
+	srv := sim.NewServer(k, c.Workers)
+	if c.Tracer != nil {
+		srv.SetTracer(c.Tracer, "chaos.attempt", 0)
+	}
+	budget := NewRetryBudget(c.BudgetRatio, 0)
+	breaker := NewBreaker(c.Breaker)
+
+	rep := Report{Requests: c.Requests}
+	lat := &metrics.Histogram{}
+	staleReady := false // becomes true after the first full success
+
+	// draw is the pipeline's decision stream: site ^ per-request key,
+	// sequenced per pair like the injector's.
+	seq := make(map[uint64]uint64)
+	draw := func(site, key uint64) float64 {
+		slot := splitmix64(site ^ key)
+		n := seq[slot]
+		seq[slot] = n + 1
+		return float64(splitmix64(c.Seed^slot^(n*0xd6e8feb86659fd93))>>11) / (1 << 53)
+	}
+
+	inWindow := func(t sim.Time) bool {
+		return c.Window[1] > c.Window[0] && t >= c.Window[0] && t < c.Window[1]
+	}
+
+	settle := func(r *pipeReq, outcome *int, ok bool) {
+		if r.settled {
+			return
+		}
+		r.settled = true
+		*outcome++
+		if ok {
+			staleReady = true
+			lat.Observe(k.Now() - r.arrived)
+		}
+	}
+
+	var launch func(r *pipeReq)
+	launch = func(r *pipeReq) {
+		attempt := r.attempt
+		r.attempt++
+		r.inflight++
+		service := c.Service
+		faulted := inWindow(k.Now())
+		if faulted && c.FaultService > 0 {
+			service = c.FaultService
+		}
+		key := r.id*0x9e3779b97f4a7c15 ^ uint64(attempt)
+		if faulted && c.StallRate > 0 && draw(siteEngineStall, key) < c.StallRate {
+			service = sim.Time(float64(service) * c.StallFactor)
+		}
+		fails := faulted && c.FailRate > 0 && draw(siteEngineFail, key) < c.FailRate
+
+		// Hedge the first attempt only: a straggler detector, not a
+		// second retry ladder.
+		if c.HedgeAfter > 0 && attempt == 0 {
+			k.After(c.HedgeAfter, func() {
+				if r.settled || r.hedgeIdx >= 0 || r.inflight == 0 {
+					return
+				}
+				r.hedgeIdx = r.attempt
+				rep.Hedges++
+				launch(r)
+			})
+		}
+
+		srv.Submit(service, func() {
+			r.inflight--
+			if r.settled {
+				return // the other racer already won; this one is the cancelled loser
+			}
+			now := int64(k.Now())
+			if !fails {
+				breaker.Record(now, true)
+				if attempt == r.hedgeIdx {
+					rep.HedgeWins++ // the duplicate beat (or outlived) the primary
+				}
+				settle(r, &rep.OK, true)
+				return
+			}
+			breaker.Record(now, false)
+			if r.inflight > 0 {
+				return // a hedge is still racing; let it decide
+			}
+			if r.attempt < c.MaxAttempts && budget.Spend() {
+				rep.Retries++
+				u := draw(siteHTTPLatency, key) // jitter stream, distinct site
+				k.After(sim.Time(c.Backoff.Delay(r.attempt-1, u)), func() {
+					if !breaker.Allow(int64(k.Now())) {
+						finishRefused(r, &rep, settle, staleReady)
+						return
+					}
+					launch(r)
+				})
+				return
+			}
+			if staleReady {
+				settle(r, &rep.Degraded, false)
+			} else {
+				settle(r, &rep.Failed, false)
+			}
+		})
+	}
+
+	for i := 0; i < c.Requests; i++ {
+		r := &pipeReq{id: uint64(i + 1), hedgeIdx: -1}
+		k.At(sim.Time(i)*c.Interval, func() {
+			r.arrived = k.Now()
+			budget.Earn()
+			if inWindow(r.arrived) && c.DropRate > 0 && draw(siteHTTPDrop, r.id) < c.DropRate {
+				settle(r, &rep.Dropped, false)
+				return
+			}
+			if !breaker.Allow(int64(r.arrived)) {
+				finishRefused(r, &rep, settle, staleReady)
+				return
+			}
+			launch(r)
+		})
+	}
+	k.Run()
+
+	rep.Makespan = k.Now()
+	bs := breaker.Stats()
+	rep.BreakerTrips = bs.Trips
+	if bs.Closes > 0 {
+		rep.MTTR = sim.Time(bs.OpenTotal / int64(bs.Closes))
+	}
+	if c.Requests > 0 {
+		rep.Availability = float64(rep.OK+rep.Degraded) / float64(c.Requests)
+		failRate := float64(rep.Failed+rep.Dropped) / float64(c.Requests)
+		rep.BudgetBurn = failRate / (1 - c.SLOTarget)
+	}
+	if rep.Makespan > 0 {
+		rep.Goodput = float64(rep.OK) / rep.Makespan.Seconds()
+	}
+	rep.P50 = lat.Quantile(0.5)
+	rep.P99 = lat.Quantile(0.99)
+	rep.P999 = lat.Quantile(0.999)
+	if rep.OK+rep.Degraded+rep.Failed+rep.Dropped != rep.Requests {
+		panic(fmt.Sprintf("chaos: pipeline outcome leak: ok=%d deg=%d fail=%d drop=%d of %d",
+			rep.OK, rep.Degraded, rep.Failed, rep.Dropped, rep.Requests))
+	}
+	return rep
+}
+
+// finishRefused settles a request the breaker refused: degraded if a
+// stale result exists to serve, otherwise a hard failure.
+func finishRefused(r *pipeReq, rep *Report, settle func(*pipeReq, *int, bool), staleReady bool) {
+	if staleReady {
+		settle(r, &rep.Degraded, false)
+	} else {
+		settle(r, &rep.Failed, false)
+	}
+}

@@ -1,0 +1,128 @@
+package chaos
+
+import (
+	"testing"
+
+	"beacongnn/internal/config"
+	"beacongnn/internal/sim"
+)
+
+func testPipelineConfig(seed uint64) PipelineConfig {
+	return PipelineConfig{
+		Requests:    400,
+		Interval:    100 * sim.Microsecond,
+		Workers:     4,
+		Service:     300 * sim.Microsecond,
+		Window:      [2]sim.Time{10 * sim.Millisecond, 30 * sim.Millisecond},
+		FailRate:    0.5,
+		StallRate:   0.2,
+		StallFactor: 6,
+		DropRate:    0.05,
+		MaxAttempts: 3,
+		Backoff:     Backoff{Base: int64(100 * sim.Microsecond), Max: int64(2 * sim.Millisecond)},
+		BudgetRatio: 0.2,
+		HedgeAfter:  600 * sim.Microsecond,
+		Breaker:     BreakerConfig{Threshold: 5, Cooldown: int64(2 * sim.Millisecond)},
+		SLOTarget:   0.999,
+		Seed:        seed,
+	}
+}
+
+// TestPipelineDeterministic is the harness's core promise: the report
+// is a pure function of its config. Two runs in the same process must
+// agree exactly — there is no wall clock, no shared RNG, and no
+// scheduler dependence inside the virtual event loop.
+func TestPipelineDeterministic(t *testing.T) {
+	a := RunPipeline(testPipelineConfig(7))
+	b := RunPipeline(testPipelineConfig(7))
+	if a != b {
+		t.Fatalf("same seed diverged:\n a=%+v\n b=%+v", a, b)
+	}
+	c := RunPipeline(testPipelineConfig(8))
+	if a == c {
+		t.Fatal("different seeds produced identical reports")
+	}
+}
+
+func TestPipelineOutcomesPartitionAndResilience(t *testing.T) {
+	rep := RunPipeline(testPipelineConfig(7))
+	if rep.OK+rep.Degraded+rep.Failed+rep.Dropped != rep.Requests {
+		t.Fatalf("outcomes leak: %+v", rep)
+	}
+	if rep.OK == 0 || rep.Retries == 0 || rep.Hedges == 0 {
+		t.Fatalf("fault window exercised no resilience machinery: %+v", rep)
+	}
+	if rep.Availability <= 0 || rep.Availability > 1 {
+		t.Fatalf("availability %g outside (0, 1]", rep.Availability)
+	}
+	if rep.P99 < rep.P50 || rep.P999 < rep.P99 {
+		t.Fatalf("quantiles not monotone: %+v", rep)
+	}
+
+	// A clean config (no fault window) is the availability ceiling.
+	clean := testPipelineConfig(7)
+	clean.Window = [2]sim.Time{}
+	clean.FailRate, clean.StallRate, clean.DropRate = 0, 0, 0
+	crep := RunPipeline(clean)
+	if crep.Availability != 1 || crep.OK != crep.Requests {
+		t.Fatalf("clean run not fully available: %+v", crep)
+	}
+	if crep.Retries != 0 || crep.BreakerTrips != 0 {
+		t.Fatalf("clean run burned resilience machinery: %+v", crep)
+	}
+	if crep.Goodput <= rep.Goodput {
+		t.Fatalf("faults did not cost goodput: clean %g <= faulted %g", crep.Goodput, rep.Goodput)
+	}
+}
+
+// TestPipelineBreakerDegrades drives a total in-window outage: the
+// breaker must trip, and refused requests must settle degraded (a
+// stale result exists from the pre-window successes), not failed.
+func TestPipelineBreakerDegrades(t *testing.T) {
+	cfg := testPipelineConfig(3)
+	cfg.FailRate = 1
+	cfg.StallRate, cfg.DropRate = 0, 0
+	rep := RunPipeline(cfg)
+	if rep.BreakerTrips == 0 {
+		t.Fatalf("total outage never tripped the breaker: %+v", rep)
+	}
+	if rep.Degraded == 0 {
+		t.Fatalf("no degraded serves during the outage: %+v", rep)
+	}
+	if rep.MTTR <= 0 {
+		t.Fatalf("breaker recovered (post-window) but MTTR = %v", rep.MTTR)
+	}
+	// The window covers ~half the run; everything outside it succeeds.
+	if rep.OK == 0 {
+		t.Fatalf("no successes outside the outage window: %+v", rep)
+	}
+}
+
+func TestScenariosValidate(t *testing.T) {
+	all := Scenarios(false)
+	if len(all) < 5 {
+		t.Fatalf("catalog shrank to %d scenarios", len(all))
+	}
+	quick := Scenarios(true)
+	if len(quick) >= len(all) {
+		t.Fatalf("quick catalog (%d) not a strict subset of full (%d)", len(quick), len(all))
+	}
+	seen := map[string]bool{}
+	for _, sc := range all {
+		if sc.Name == "" || seen[sc.Name] {
+			t.Fatalf("bad or duplicate scenario name %q", sc.Name)
+		}
+		seen[sc.Name] = true
+		if sc.Device == nil {
+			continue
+		}
+		cfg := config.Default()
+		sc.Device(&cfg)
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("scenario %s produced an invalid config: %v", sc.Name, err)
+		}
+		if !cfg.Fault.Enabled {
+			t.Errorf("scenario %s mutated the device without enabling the fault model", sc.Name)
+		}
+	}
+}

@@ -211,6 +211,16 @@ type Fault struct {
 	DeadDies        []int // die indexes failed from the start
 	DeadChannels    []int // channel indexes failed from the start
 
+	// Uncorrectable storm: between StormStart and StormEnd (simulated
+	// time), StormRBER is added to every block's RBER — a transient
+	// device-wide degradation (temperature excursion, read-disturb
+	// burst) the chaos harness uses to drive the recovery ladder hard
+	// for a bounded window. StormRBER = 0 (the default) disables the
+	// window entirely.
+	StormStart sim.Time
+	StormEnd   sim.Time
+	StormRBER  float64
+
 	// SpareRows is how many block rows at the top of the device are held
 	// back as remap targets for retired pages.
 	SpareRows int
@@ -262,6 +272,10 @@ func (f Fault) Validate(fl Flash) error {
 		return fmt.Errorf("config: initial P/E cycles must be non-negative")
 	case f.SpareRows < 0 || f.SpareRows >= fl.BlocksPerDie:
 		return fmt.Errorf("config: spare rows %d outside [0, %d)", f.SpareRows, fl.BlocksPerDie)
+	case f.StormRBER < 0 || f.StormRBER >= 0.5:
+		return fmt.Errorf("config: storm RBER %v out of range [0, 0.5)", f.StormRBER)
+	case f.StormRBER > 0 && (f.StormStart < 0 || f.StormEnd <= f.StormStart):
+		return fmt.Errorf("config: storm window [%v, %v) is empty", f.StormStart, f.StormEnd)
 	}
 	for _, d := range f.DeadDies {
 		if d < 0 || d >= fl.TotalDies() {

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestChaosDeterministicAcrossWorkers is the acceptance bar for the
+// availability sweep: the same seed renders a byte-identical report at
+// any host parallelism, because the modeled pipeline runs in virtual
+// time on a fixed virtual width.
+func TestChaosDeterministicAcrossWorkers(t *testing.T) {
+	render := func(workers int) string {
+		var b bytes.Buffer
+		if err := RunChaos(optsWithWorkers(workers), &b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	seq := render(1)
+	if seq == "" {
+		t.Fatal("empty chaos output")
+	}
+	if par := render(8); par != seq {
+		t.Fatalf("workers=8 output differs from sequential:\n--- seq ---\n%s\n--- par ---\n%s", seq, par)
+	}
+	for _, want := range []string{
+		"availability under fault",
+		"chaos.attempt spans",
+		"die-outage",
+		"engine-flap",
+		"stall-burst",
+		"MTTR",
+		"expect:",
+	} {
+		if !strings.Contains(seq, want) {
+			t.Errorf("chaos report missing %q:\n%s", want, seq)
+		}
+	}
+}
+
+// TestChaosCheckInvariants runs the sweep under -check: outcome
+// partition and the baseline availability ceiling are asserted inside
+// RunChaos itself.
+func TestChaosCheckInvariants(t *testing.T) {
+	o := optsWithWorkers(4)
+	o.Check = true
+	var b bytes.Buffer
+	if err := RunChaos(o, &b); err != nil {
+		t.Fatal(err)
+	}
+}

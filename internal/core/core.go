@@ -135,6 +135,7 @@ func AllExperiments() []Experiment {
 	return append(Experiments(),
 		Experiment{"reliab", "Reliability: throughput and latency vs wear, RBER, and outages", RunReliability},
 		Experiment{"sched", "Scheduling: flash queueing policies (fifo/sjf/edf/totalfit)", RunSched},
+		Experiment{"chaos", "Chaos: availability, goodput, and MTTR under injected faults", RunChaos},
 	)
 }
 

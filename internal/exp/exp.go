@@ -42,11 +42,33 @@ import (
 	"beacongnn/internal/platform"
 )
 
+// ErrTransient marks failures that say nothing about the simulation
+// itself — injected chaos faults, stub outages in tests. The engine
+// never memoizes an error carrying it (the key is released and deduped
+// waiters retry, exactly like a cancellation), and the serving layer's
+// retry machinery treats it as retryable where a deterministic
+// simulation error is not.
+var ErrTransient = errors.New("transient failure")
+
+// IsTransient reports whether err is (or wraps) a transient failure.
+func IsTransient(err error) bool { return errors.Is(err, ErrTransient) }
+
+// FaultHook is the engine-boundary chaos surface: it is consulted once
+// per leaf attempt, while the attempt holds its worker slot, just
+// before the simulation runs. A hook may stall (worker-stall
+// injection), evict memo entries (eviction storms), or return an error
+// — wrap ErrTransient to keep the failure out of the memo. attempt is 0
+// for the primary run and >0 for hedged or retried duplicates.
+type FaultHook func(key SimKey, attempt int) error
+
 // Engine schedules simulations across a bounded worker pool and memoizes
 // their results. It is safe for concurrent use. The zero value is not
 // usable; call New.
 type Engine struct {
 	sem chan struct{} // one token per concurrently running leaf
+
+	// hook, when set, injects engine-boundary faults (see FaultHook).
+	hook FaultHook
 
 	// simFn is the simulation leaf; platform.SimulateTargetsCtx in
 	// production, replaceable in tests (e.g. to exercise panic
@@ -98,6 +120,37 @@ func (e *Engine) SetMemoCap(n int) {
 
 // Workers returns the configured parallel width.
 func (e *Engine) Workers() int { return cap(e.sem) }
+
+// SetFaultHook installs (or clears, with nil) the engine-boundary fault
+// hook; the chaos harness uses it to inject worker stalls, eviction
+// storms, and transient failures. Call before the first Simulate.
+func (e *Engine) SetFaultHook(h FaultHook) { e.hook = h }
+
+// EvictOldest drops up to n least-recently-used completed memo entries
+// and reports how many were dropped. It is a no-op on an unbounded memo
+// (batch runs depend on every result staying resident) and never
+// touches in-flight entries, which keep their map slot until finish.
+// The chaos harness uses it to model eviction storms against a capped
+// daemon memo.
+func (e *Engine) EvictOldest(n int) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.memoCap <= 0 {
+		return 0
+	}
+	dropped := 0
+	for dropped < n {
+		back := e.lru.Back()
+		if back == nil {
+			break
+		}
+		delete(e.memo, back.Value.(SimKey))
+		e.lru.Remove(back)
+		e.evicted++
+		dropped++
+	}
+	return dropped
+}
 
 // EnableChecks routes every subsequent simulation through the invariant
 // checker (platform.SimulateChecked): each leaf run is verified against
@@ -338,6 +391,12 @@ func (e *Engine) SimulateCtx(ctx context.Context, kind platform.Kind, cfg config
 				}
 				e.finish(key, ent)
 			}()
+			if e.hook != nil {
+				if herr := e.hook(key, 0); herr != nil {
+					ent.err = herr
+					return
+				}
+			}
 			e.mu.Lock()
 			e.runs++
 			e.mu.Unlock()
@@ -346,6 +405,38 @@ func (e *Engine) SimulateCtx(ctx context.Context, kind platform.Kind, cfg config
 		}()
 		return ent.res, ent.err
 	}
+}
+
+// SimulateFreshCtx runs one simulation without consulting or updating
+// the result memo, while still reusing precomputed frontiers and
+// holding a worker slot. It exists for hedged duplicates: a hedge of an
+// in-flight key must not dedupe into the very attempt it is racing, and
+// its result must not fight the primary's over the memo slot. attempt
+// is forwarded to the fault hook so injection schedules can tell
+// primaries from hedges.
+func (e *Engine) SimulateFreshCtx(ctx context.Context, kind platform.Kind, cfg config.Config, inst *dataset.Instance, batches, timeline, attempt int) (*platform.Result, error) {
+	if inst == nil {
+		return nil, fmt.Errorf("exp: nil dataset instance")
+	}
+	select {
+	case e.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	defer func() { <-e.sem }()
+	if e.hook != nil {
+		if err := e.hook(Key(kind, cfg, inst, batches, timeline), attempt); err != nil {
+			return nil, err
+		}
+	}
+	e.mu.Lock()
+	e.runs++
+	e.mu.Unlock()
+	var frontier [][]graph.NodeID
+	if !e.noMemo {
+		frontier = e.frontier(kind, cfg, inst, batches)
+	}
+	return e.simFn(ctx, kind, cfg, inst, batches, timeline, frontier)
 }
 
 // abandon releases a never-run entry whose caller was cancelled while
@@ -358,12 +449,13 @@ func (e *Engine) abandon(key SimKey, ent *memoEntry) {
 	close(ent.done)
 }
 
-// finish publishes a completed entry: cancelled runs are removed from
-// the memo (waiters retry), everything else — results and real errors
-// alike — is cached and enters the LRU when a cap is set.
+// finish publishes a completed entry: cancelled and transient-failed
+// runs are removed from the memo (waiters retry — a chaos-injected
+// fault must never poison the cache), everything else — results and
+// real errors alike — is cached and enters the LRU when a cap is set.
 func (e *Engine) finish(key SimKey, ent *memoEntry) {
 	e.mu.Lock()
-	if ent.err != nil && (errors.Is(ent.err, context.Canceled) || errors.Is(ent.err, context.DeadlineExceeded)) {
+	if ent.err != nil && (errors.Is(ent.err, context.Canceled) || errors.Is(ent.err, context.DeadlineExceeded) || IsTransient(ent.err)) {
 		delete(e.memo, key)
 		ent.abandoned = true
 	} else if e.memoCap > 0 {

@@ -96,7 +96,12 @@ type Injector struct {
 	deadDie  []bool
 	deadChan []bool
 	probs    map[int]classProbs // P/E count → class boundaries
-	stats    Stats
+	// stormProbs caches the in-storm boundaries separately: the storm
+	// adds StormRBER to every block, shifting the whole curve, and the
+	// two caches must not mix or a post-storm read would reuse storm
+	// odds.
+	stormProbs map[int]classProbs
+	stats      Stats
 }
 
 // NewInjector builds an injector for the flash geometry. The per-die
@@ -105,12 +110,13 @@ type Injector struct {
 // identically.
 func NewInjector(fc config.Fault, fl config.Flash, seed uint64) *Injector {
 	in := &Injector{
-		cfg:      fc,
-		pageBits: float64(fl.PageSize) * 8,
-		streams:  make([]*xrand.Source, fl.TotalDies()),
-		deadDie:  make([]bool, fl.TotalDies()),
-		deadChan: make([]bool, fl.Channels),
-		probs:    make(map[int]classProbs),
+		cfg:        fc,
+		pageBits:   float64(fl.PageSize) * 8,
+		streams:    make([]*xrand.Source, fl.TotalDies()),
+		deadDie:    make([]bool, fl.TotalDies()),
+		deadChan:   make([]bool, fl.Channels),
+		probs:      make(map[int]classProbs),
+		stormProbs: make(map[int]classProbs),
 	}
 	master := xrand.New(seed ^ 0xFA017FA017)
 	for i := range in.streams {
@@ -155,28 +161,42 @@ func (in *Injector) RouteChannel(ch int) int {
 	return ch // unreachable: config validation rejects all-dead
 }
 
-// rber returns the raw bit error rate of a block at the given P/E count.
-func (in *Injector) rber(pe int) float64 {
+// rber returns the raw bit error rate of a block at the given P/E
+// count, with the storm excursion added while one is active.
+func (in *Injector) rber(pe int, storm bool) float64 {
 	r := in.cfg.BaseRBER + in.cfg.WearRBERPerPE*float64(pe) + in.cfg.RetentionRBER
+	if storm {
+		r += in.cfg.StormRBER
+	}
 	if r > 0.5 {
 		r = 0.5
 	}
 	return r
 }
 
+// stormActive reports whether the uncorrectable-storm window covers
+// simulated time now.
+func (in *Injector) stormActive(now sim.Time) bool {
+	return in.cfg.StormRBER > 0 && now >= in.cfg.StormStart && now < in.cfg.StormEnd
+}
+
 // boundaries returns (and caches) the cumulative class probabilities
-// for one P/E count.
-func (in *Injector) boundaries(pe int) classProbs {
-	if p, ok := in.probs[pe]; ok {
+// for one P/E count, from the in-storm cache when a storm is active.
+func (in *Injector) boundaries(pe int, storm bool) classProbs {
+	cache := in.probs
+	if storm {
+		cache = in.stormProbs
+	}
+	if p, ok := cache[pe]; ok {
 		return p
 	}
-	lambda := in.rber(pe) * in.pageBits
+	lambda := in.rber(pe, storm) * in.pageBits
 	p := classProbs{
 		clean: poissonCDF(lambda, in.cfg.HardECCBits),
 		retry: poissonCDF(lambda, in.cfg.RetryECCBits),
 		soft:  poissonCDF(lambda, in.cfg.SoftECCBits),
 	}
-	in.probs[pe] = p
+	cache[pe] = p
 	return p
 }
 
@@ -198,11 +218,19 @@ func poissonCDF(lambda float64, k int) float64 {
 	return sum
 }
 
-// Classify draws one sense outcome for a page on (die, block). Exactly
-// one value is consumed from the die's stream per call, dead die or not,
-// so outcome sequences stay aligned across configurations that differ
-// only in outage injection.
+// Classify draws one sense outcome for a page on (die, block), with no
+// storm applied (time-independent callers: tests, tools).
 func (in *Injector) Classify(die, block int) Outcome {
+	return in.ClassifyAt(die, block, 0)
+}
+
+// ClassifyAt draws one sense outcome for a page on (die, block) at
+// simulated time now, applying the uncorrectable-storm excursion when
+// now falls inside the configured window. Exactly one value is consumed
+// from the die's stream per call — dead die, storm, or not — so outcome
+// sequences stay aligned across configurations that differ only in
+// outage or storm injection.
+func (in *Injector) ClassifyAt(die, block int, now sim.Time) Outcome {
 	u := in.streams[die].Float64()
 	in.stats.Reads++
 	if in.deadDie[die] {
@@ -219,7 +247,7 @@ func (in *Injector) Classify(die, block int) Outcome {
 	if in.wear != nil {
 		pe += in.wear(die, block)
 	}
-	p := in.boundaries(pe)
+	p := in.boundaries(pe, in.stormActive(now))
 	switch {
 	case u < p.clean:
 		in.stats.CleanReads++

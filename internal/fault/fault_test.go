@@ -75,23 +75,23 @@ func TestRBERAndBoundaries(t *testing.T) {
 
 	// Mirror the implementation's addition order: the compiler folds
 	// literal sums in arbitrary precision, which differs at the ulp.
-	if got, want := in.rber(0), fc.BaseRBER+fc.WearRBERPerPE*0+fc.RetentionRBER; got != want {
+	if got, want := in.rber(0, false), fc.BaseRBER+fc.WearRBERPerPE*0+fc.RetentionRBER; got != want {
 		t.Fatalf("rber(0) = %g, want %g", got, want)
 	}
-	if got, want := in.rber(100), fc.BaseRBER+fc.WearRBERPerPE*100+fc.RetentionRBER; got != want {
+	if got, want := in.rber(100, false), fc.BaseRBER+fc.WearRBERPerPE*100+fc.RetentionRBER; got != want {
 		t.Fatalf("rber(100) = %g, want %g", got, want)
 	}
-	if got := in.rber(1 << 30); got != 0.5 {
+	if got := in.rber(1<<30, false); got != 0.5 {
 		t.Fatalf("rber cap: got %g, want 0.5", got)
 	}
 	for _, pe := range []int{0, 1000, 100000} {
-		p := in.boundaries(pe)
+		p := in.boundaries(pe, false)
 		if !(p.clean >= 0 && p.clean <= p.retry && p.retry <= p.soft && p.soft <= 1) {
 			t.Fatalf("boundaries(%d) unordered: %+v", pe, p)
 		}
 	}
 	// More wear → lower clean probability.
-	if in.boundaries(200000).clean >= in.boundaries(0).clean {
+	if in.boundaries(200000, false).clean >= in.boundaries(0, false).clean {
 		t.Fatalf("wear did not reduce the clean probability")
 	}
 }

@@ -1,0 +1,76 @@
+package fault
+
+import (
+	"testing"
+
+	"beacongnn/internal/sim"
+)
+
+// TestStormWindowShiftsClassification: inside [StormStart, StormEnd)
+// the RBER excursion must push senses off the clean path; outside the
+// window classification is indistinguishable from a storm-free config.
+func TestStormWindowShiftsClassification(t *testing.T) {
+	fc := testFault()
+	fc.Enabled = true
+	fc.StormStart = 100 * sim.Microsecond
+	fc.StormEnd = 200 * sim.Microsecond
+	fc.StormRBER = 2e-2 // λ ≈ 655 ≫ soft ECC: every in-storm sense is uncorrectable
+	in := NewInjector(fc, testGeometry(), 1)
+
+	if in.stormActive(0) || in.stormActive(99*sim.Microsecond) {
+		t.Fatal("storm active before its window")
+	}
+	if !in.stormActive(100*sim.Microsecond) || !in.stormActive(199*sim.Microsecond) {
+		t.Fatal("storm inactive inside its window")
+	}
+	if in.stormActive(200 * sim.Microsecond) {
+		t.Fatal("storm window end not exclusive")
+	}
+
+	const n = 500
+	inWindow := 0
+	for i := 0; i < n; i++ {
+		if in.ClassifyAt(0, 0, 150*sim.Microsecond).Class != Clean {
+			inWindow++
+		}
+	}
+	if inWindow != n {
+		t.Fatalf("only %d/%d in-storm senses left the clean path at RBER %g", inWindow, n, fc.StormRBER)
+	}
+	outside := 0
+	for i := 0; i < n; i++ {
+		if in.ClassifyAt(0, 0, 300*sim.Microsecond).Class != Clean {
+			outside++
+		}
+	}
+	// At the default base RBER, λ is far below the hard-ECC floor: the
+	// post-storm stream must be clean again.
+	if outside != 0 {
+		t.Fatalf("%d/%d post-storm senses still degraded", outside, n)
+	}
+}
+
+// TestStormStreamAlignment: enabling a storm must not consume extra
+// RNG draws — the per-die decision stream stays aligned with a
+// storm-free injector, so adding a storm window perturbs only the
+// window, not every subsequent draw in the run.
+func TestStormStreamAlignment(t *testing.T) {
+	base := testFault()
+	base.Enabled = true
+	withStorm := base
+	withStorm.StormStart = 10 * sim.Microsecond
+	withStorm.StormEnd = 20 * sim.Microsecond
+	withStorm.StormRBER = 1e-2
+
+	a := NewInjector(base, testGeometry(), 7)
+	b := NewInjector(withStorm, testGeometry(), 7)
+	for i := 0; i < 2000; i++ {
+		// Both classify outside b's storm window: identical configs as
+		// far as this draw is concerned, so identical outcomes.
+		oa := a.ClassifyAt(1, 0, sim.Time(0))
+		ob := b.ClassifyAt(1, 0, 100*sim.Microsecond)
+		if oa.Class != ob.Class {
+			t.Fatalf("draw %d diverged: %v vs %v — storm config consumed extra RNG draws", i, oa.Class, ob.Class)
+		}
+	}
+}

@@ -217,7 +217,7 @@ func (b *Backend) SensePageDeadline(page uint32, dieExtra, deadline sim.Time, se
 	var out fault.Outcome
 	service := b.cfg.ReadLatency
 	if b.FaultInjector != nil {
-		out = b.FaultInjector.Classify(die, b.geom.BlockOf(page))
+		out = b.FaultInjector.ClassifyAt(die, b.geom.BlockOf(page), b.k.Now())
 		service += out.ExtraDieTime
 		if out.RetrySenses > 0 && b.OnRetrySense != nil {
 			b.OnRetrySense(out.RetrySenses)

@@ -1,0 +1,46 @@
+package platform
+
+import (
+	"testing"
+
+	"beacongnn/internal/sim"
+)
+
+// TestRecoveryBackoffSaturates is the regression for the shifted-
+// backoff overflow: `base << attempt` wraps negative once the shift
+// crosses 63 bits, scheduling recovery events in the past. The ladder
+// now doubles with saturation at maxRecoveryBackoff.
+func TestRecoveryBackoffSaturates(t *testing.T) {
+	const base = sim.Time(2 * sim.Microsecond)
+	golden := []sim.Time{base, 2 * base, 4 * base, 8 * base}
+	for attempt, want := range golden {
+		if got := recoveryBackoff(base, attempt); got != want {
+			t.Errorf("recoveryBackoff(%v, %d) = %v, want %v", base, attempt, got, want)
+		}
+	}
+	for _, attempt := range []int{40, 63, 64, 1 << 20} {
+		got := recoveryBackoff(base, attempt)
+		if got <= 0 {
+			t.Fatalf("recoveryBackoff(%v, %d) = %v wrapped non-positive", base, attempt, got)
+		}
+		if got > maxRecoveryBackoff {
+			t.Fatalf("recoveryBackoff(%v, %d) = %v exceeds the ceiling", base, attempt, got)
+		}
+	}
+	// Monotone: a later attempt never waits less.
+	prev := sim.Time(0)
+	for attempt := 0; attempt < 80; attempt++ {
+		d := recoveryBackoff(base, attempt)
+		if d < prev {
+			t.Fatalf("backoff decreased at attempt %d: %v < %v", attempt, d, prev)
+		}
+		prev = d
+	}
+	// A base already at/above the ceiling clamps instead of doubling.
+	if got := recoveryBackoff(maxRecoveryBackoff*2, 3); got != maxRecoveryBackoff {
+		t.Fatalf("oversized base = %v, want clamp to %v", got, maxRecoveryBackoff)
+	}
+	if got := recoveryBackoff(0, 5); got != 0 {
+		t.Fatalf("zero base = %v, want 0 (backoff disabled)", got)
+	}
+}

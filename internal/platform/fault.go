@@ -91,7 +91,7 @@ func (c *senseCtx) onOutcome(out fault.Outcome) {
 		// recovery. Otherwise retry with exponential backoff while
 		// attempts and the command deadline allow.
 		if !out.DieDead && c.attempt < fc.MaxRecoveryAttempts {
-			backoff := fc.RetryBackoff << uint(c.attempt)
+			backoff := recoveryBackoff(fc.RetryBackoff, c.attempt)
 			if c.deadline == 0 || s.k.Now()+backoff <= c.deadline {
 				c.attempt++
 				s.k.After(backoff, c.fnRetry)
@@ -117,6 +117,30 @@ func (c *senseCtx) onOutcome(out fault.Outcome) {
 			done(s.resolvePage(page))
 		})
 	}
+}
+
+// maxRecoveryBackoff caps the recovery ladder's doubled delay. 2^40
+// simulated nanoseconds (~18 minutes) dwarfs any CmdDeadline horizon,
+// so the cap never admits a retry the deadline check would have
+// rejected — it only stops base<<attempt from wrapping negative at
+// large attempt counts (a negative delay panics the kernel).
+const maxRecoveryBackoff = sim.Time(1) << 40
+
+// recoveryBackoff returns the re-sense delay before recovery attempt
+// number attempt (0-based), saturating at maxRecoveryBackoff instead
+// of overflowing.
+func recoveryBackoff(base sim.Time, attempt int) sim.Time {
+	if base <= 0 {
+		return 0
+	}
+	b := base
+	for i := 0; i < attempt && b < maxRecoveryBackoff; i++ {
+		b <<= 1
+	}
+	if b > maxRecoveryBackoff {
+		b = maxRecoveryBackoff
+	}
+	return b
 }
 
 // recoverPage retires the failed page's block, remaps the page into the

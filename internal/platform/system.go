@@ -101,6 +101,13 @@ func (s *System) BindContext(ctx context.Context) {
 	}
 	s.ctx = ctx
 	s.k.SetCancel(func() bool { return ctx.Err() != nil })
+	if s.cfg.Fault.Enabled {
+		// Recovery ladders and storms stretch per-event wall cost, and
+		// faulted runs are exactly the ones hedged duplicates and
+		// draining daemons abandon — poll finer so cancellation stays
+		// prompt. Observation only; results are stride-independent.
+		s.k.SetCancelStride(256)
+	}
 }
 
 // SetSampleObserver installs a functional-sampling observer (die-level

@@ -1,0 +1,55 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// drainSet tracks the cancel funcs of in-flight heavy requests so the
+// drain hard-deadline can abort stragglers, and so drain progress is
+// observable (beaconserved_inflight_requests gauge).
+type drainSet struct {
+	mu   sync.Mutex
+	next uint64
+	m    map[uint64]context.CancelFunc
+}
+
+func newDrainSet() *drainSet {
+	return &drainSet{m: make(map[uint64]context.CancelFunc)}
+}
+
+// track registers cancel and returns an unregister func. The request
+// path calls unregister on completion; cancelAll may race it — both
+// are idempotent on the map.
+func (d *drainSet) track(cancel context.CancelFunc) func() {
+	d.mu.Lock()
+	d.next++
+	id := d.next
+	d.m[id] = cancel
+	d.mu.Unlock()
+	return func() {
+		d.mu.Lock()
+		delete(d.m, id)
+		d.mu.Unlock()
+	}
+}
+
+func (d *drainSet) len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.m)
+}
+
+// cancelAll fires every tracked cancellation, returning the count.
+func (d *drainSet) cancelAll() int {
+	d.mu.Lock()
+	cancels := make([]context.CancelFunc, 0, len(d.m))
+	for _, c := range d.m {
+		cancels = append(cancels, c)
+	}
+	d.mu.Unlock()
+	for _, c := range cancels {
+		c()
+	}
+	return len(cancels)
+}

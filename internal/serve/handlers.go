@@ -11,8 +11,10 @@ import (
 	"strconv"
 	"time"
 
+	"beacongnn/internal/chaos"
 	"beacongnn/internal/core"
 	"beacongnn/internal/exp"
+	"beacongnn/internal/platform"
 )
 
 // writeJSON writes v with status code; encode failures after the header
@@ -65,8 +67,9 @@ const (
 
 // retryAfterSeconds estimates when a shed client should come back: the
 // time for one pool turn to drain at the observed median cache-miss
-// request latency, floored at 1s. Cache hits never occupy a worker for
-// long, so they are excluded; with no miss history it answers 1.
+// request latency, floored at 1s and capped at RetryAfterCeiling — one
+// pathological slow miss in the summary must not tell clients to come
+// back in hours. With no miss history it answers 1.
 func (s *Server) retryAfterSeconds() int {
 	count, _, qs := s.reg.Summary(simulateMissSummary).Snapshot(0.5)
 	if count == 0 {
@@ -76,6 +79,9 @@ func (s *Server) retryAfterSeconds() int {
 	est := int(math.Ceil(qs[0].Seconds() * turns))
 	if est < 1 {
 		return 1
+	}
+	if ceil := int(s.cfg.RetryAfterCeiling.Seconds()); est > ceil {
+		return ceil
 	}
 	return est
 }
@@ -87,6 +93,10 @@ func (s *Server) finishErr(w http.ResponseWriter, r *http.Request, err error) {
 	switch {
 	case errors.Is(err, context.Canceled) && r.Context().Err() != nil:
 		s.reg.Counter("beaconserved_client_gone_total").Inc()
+	case errors.Is(err, context.Canceled) && s.draining.Load():
+		// The drain deadline cancelled this straggler mid-run: 503 tells
+		// the client to go elsewhere, not that its request was invalid.
+		s.writeError(w, http.StatusServiceUnavailable, "server is draining; request cancelled")
 	case errors.Is(err, context.DeadlineExceeded):
 		s.writeError(w, http.StatusGatewayTimeout, "deadline exceeded: %v", err)
 	default:
@@ -118,8 +128,18 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		s.reg.Summary(latency).Observe(time.Since(start))
 	}()
 
+	fam := family{kind: job.kind, dataset: job.desc.Name}
+	bk := s.breakers.get(fam)
+	if !bk.Allow(time.Now().UnixNano()) {
+		s.serveDegraded(w, job, fam, start, "circuit open")
+		return
+	}
+	s.budget.Earn()
+
 	ctx, cancel := context.WithTimeout(r.Context(), job.timeout)
 	defer cancel()
+	untrack := s.inflight.track(cancel)
+	defer untrack()
 
 	inst, err := s.insts.get(ctx, instKey{
 		name:     job.desc.Name,
@@ -128,22 +148,41 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		seed:     job.cfg.Seed,
 	})
 	if err != nil {
+		bk.CancelProbe() // materialization says nothing about engine health
 		s.finishErr(w, r, err)
 		return
 	}
 	key := exp.Key(job.kind, job.cfg, inst, job.batches, simTimelinePoints)
 	hit := s.eng.Cached(key)
+	var res *platform.Result
 	if hit {
 		latency = simulateHitSummary
 		s.reg.Counter("beaconserved_cache_hits_total").Inc()
+		// Memo hits bypass the retry/hedge machinery entirely: the hot
+		// path stays at its uninstrumented allocation budget.
+		res, err = s.eng.SimulateCtx(ctx, job.kind, job.cfg, inst, job.batches, simTimelinePoints)
+		if err == nil {
+			bk.Record(time.Now().UnixNano(), true)
+		} else if ctx.Err() != nil {
+			bk.CancelProbe()
+		} else {
+			bk.Record(time.Now().UnixNano(), false)
+		}
 	} else {
 		s.reg.Counter("beaconserved_cache_misses_total").Inc()
+		res, err = s.runResilient(ctx, bk, job, inst, key)
 	}
-	res, err := s.eng.SimulateCtx(ctx, job.kind, job.cfg, inst, job.batches, simTimelinePoints)
 	if err != nil {
+		// Transient exhaustion with the breaker now open degrades
+		// instead of surfacing a 5xx the client can do nothing about.
+		if ctx.Err() == nil && exp.IsTransient(err) && bk.State() == chaos.Open {
+			s.serveDegraded(w, job, fam, start, "retries exhausted; circuit open")
+			return
+		}
 		s.finishErr(w, r, err)
 		return
 	}
+	s.stale.put(fam, res, job.nodes, job.batches)
 	cacheHeader := "miss"
 	if hit {
 		cacheHeader = "hit"
@@ -157,6 +196,35 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		Cached:   hit,
 		WallMS:   float64(time.Since(start).Microseconds()) / 1e3,
 		Result:   res,
+	})
+}
+
+// serveDegraded answers under an open breaker: the family's
+// last-known-good result with explicit staleness marking (200 with
+// X-Degraded/Warning — a deliberate choice over a 5xx the client can
+// only blind-retry into the same open circuit), or 503 + Retry-After
+// when no stale result exists yet.
+func (s *Server) serveDegraded(w http.ResponseWriter, job *simJob, fam family, start time.Time, reason string) {
+	rec, ok := s.stale.get(fam)
+	if !ok {
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		s.writeError(w, http.StatusServiceUnavailable,
+			"circuit open for %v/%s and no stale result to serve: %s", job.kind, job.desc.Name, reason)
+		return
+	}
+	s.reg.Counter("beaconserved_degraded_total").Inc()
+	w.Header().Set("X-Degraded", "true")
+	w.Header().Set("X-Cache", "stale")
+	w.Header().Set("Warning", `110 beaconserved "stale result: `+reason+`"`)
+	s.writeOK(w, SimResponse{
+		Platform: rec.res.Platform,
+		Dataset:  rec.res.Dataset,
+		Nodes:    rec.nodes,
+		Batches:  rec.batches,
+		Cached:   true,
+		Degraded: true,
+		WallMS:   float64(time.Since(start).Microseconds()) / 1e3,
+		Result:   rec.res,
 	})
 }
 

@@ -171,6 +171,11 @@ type SimResponse struct {
 	// Cached reports whether the result was served from the LRU memo
 	// without re-simulating (also surfaced as the X-Cache header).
 	Cached bool `json:"cached"`
+	// Degraded marks a stale last-known-good result served because the
+	// family's circuit breaker was open (also X-Degraded/Warning
+	// headers). Omitted on fresh results, keeping healthy responses
+	// byte-identical to a build without degraded mode.
+	Degraded bool `json:"degraded,omitempty"`
 	// WallMS is handler wall time — near zero on cache hits.
 	WallMS float64 `json:"wall_ms"`
 	// Result is the full measurement set, identical to what the

@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"beacongnn/internal/chaos"
+	"beacongnn/internal/dataset"
+	"beacongnn/internal/exp"
+	"beacongnn/internal/metrics"
+	"beacongnn/internal/platform"
+)
+
+// breakerSet owns one circuit breaker per (platform, dataset) family.
+// Lookup is a struct-keyed map read under RWMutex — no allocation on
+// the request hot path; the labeled state gauge is built once, when a
+// family's breaker is first created.
+type breakerSet struct {
+	mu  sync.RWMutex
+	cfg chaos.BreakerConfig
+	m   map[family]*chaos.Breaker
+	reg *metrics.Registry
+}
+
+func newBreakerSet(cfg chaos.BreakerConfig, reg *metrics.Registry) *breakerSet {
+	return &breakerSet{cfg: cfg, m: make(map[family]*chaos.Breaker), reg: reg}
+}
+
+// get returns (creating on first use) the family's breaker.
+func (bs *breakerSet) get(f family) *chaos.Breaker {
+	bs.mu.RLock()
+	b, ok := bs.m[f]
+	bs.mu.RUnlock()
+	if ok {
+		return b
+	}
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	if b, ok = bs.m[f]; ok {
+		return b
+	}
+	b = chaos.NewBreaker(bs.cfg)
+	gauge := bs.reg.Gauge(fmt.Sprintf(
+		"beaconserved_breaker_state{platform=%q,dataset=%q}", f.kind, f.dataset))
+	gauge.Set(int64(chaos.Closed))
+	b.OnStateChange(func(st chaos.BreakerState) { gauge.Set(int64(st)) })
+	bs.m[f] = b
+	return b
+}
+
+// runResilient executes the simulate job with the full resilience
+// stack: per-attempt breaker accounting, bounded retries against
+// transient faults under the retry budget, exponential backoff with
+// deterministic per-key jitter, and hedged duplicates for stragglers.
+// The memo-hit path never comes here — the caller dispatches hits
+// straight to SimulateCtx so the hot path cost is unchanged.
+func (s *Server) runResilient(ctx context.Context, bk *chaos.Breaker, job *simJob, inst *dataset.Instance, key exp.SimKey) (*platform.Result, error) {
+	backoff := chaos.Backoff{
+		Base: s.cfg.RetryBackoffBase.Nanoseconds(),
+		Max:  s.cfg.RetryBackoffMax.Nanoseconds(),
+	}
+	for attempt := 0; ; attempt++ {
+		res, err := s.simulateHedged(ctx, job, inst, attempt)
+		if err == nil {
+			bk.Record(time.Now().UnixNano(), true)
+			return res, nil
+		}
+		if ctx.Err() != nil {
+			// Our own cancellation (client gone, deadline, drain) says
+			// nothing about downstream health: release the probe slot
+			// and do not count a failure.
+			bk.CancelProbe()
+			return nil, err
+		}
+		bk.Record(time.Now().UnixNano(), false)
+		if !exp.IsTransient(err) {
+			return nil, err // deterministic simulation failure; retrying cannot help
+		}
+		if attempt+1 >= s.cfg.MaxAttempts || bk.State() == chaos.Open || !s.budget.Spend() {
+			return nil, err
+		}
+		s.reg.Counter("beaconserved_retries_total").Inc()
+		// Jitter is a pure function of (key digest, attempt): the retry
+		// schedule for a request is reproducible, yet distinct keys
+		// decorrelate.
+		u := chaos.JitterU(key.Digest, uint64(attempt))
+		select {
+		case <-time.After(time.Duration(backoff.Delay(attempt, u))):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// simulateHedged runs one attempt, racing a hedged duplicate against
+// the primary when the primary stalls past HedgeAfter. The duplicate
+// bypasses the memo (SimulateFreshCtx) so it cannot dedupe into the
+// very in-flight entry it is racing; the loser's context is cancelled
+// and the abandonment is observed mid-kernel.
+func (s *Server) simulateHedged(ctx context.Context, job *simJob, inst *dataset.Instance, attempt int) (*platform.Result, error) {
+	if s.cfg.HedgeAfter <= 0 {
+		return s.eng.SimulateCtx(ctx, job.kind, job.cfg, inst, job.batches, simTimelinePoints)
+	}
+	type outcome struct {
+		res   *platform.Result
+		err   error
+		hedge bool
+	}
+	raceCtx, cancelRace := context.WithCancel(ctx)
+	defer cancelRace()
+	ch := make(chan outcome, 2)
+	go func() {
+		res, err := s.eng.SimulateCtx(raceCtx, job.kind, job.cfg, inst, job.batches, simTimelinePoints)
+		ch <- outcome{res, err, false}
+	}()
+	timer := time.NewTimer(s.cfg.HedgeAfter)
+	defer timer.Stop()
+	launched := false
+	pending := 1
+	var firstErr error
+	for {
+		select {
+		case <-timer.C:
+			if !launched {
+				launched = true
+				pending++
+				s.reg.Counter("beaconserved_hedges_total").Inc()
+				go func() {
+					res, err := s.eng.SimulateFreshCtx(raceCtx, job.kind, job.cfg, inst, job.batches, simTimelinePoints, attempt+1)
+					ch <- outcome{res, err, true}
+				}()
+			}
+		case out := <-ch:
+			pending--
+			if out.err == nil {
+				if out.hedge {
+					s.reg.Counter("beaconserved_hedge_wins_total").Inc()
+				}
+				cancelRace() // the loser abandons mid-kernel; its memo entry is released, not poisoned
+				return out.res, nil
+			}
+			if firstErr == nil {
+				firstErr = out.err
+			}
+			if pending == 0 {
+				return nil, firstErr
+			}
+			// One racer failed; the other may still succeed. Stop the
+			// hedge timer from launching a second duplicate of a run
+			// that already demonstrated failure.
+		case <-ctx.Done():
+			// Drain both racers' sends (buffered channel) via cancel;
+			// return promptly with the caller's error.
+			cancelRace()
+			return nil, ctx.Err()
+		}
+	}
+}

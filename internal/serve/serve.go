@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"beacongnn/internal/chaos"
 	"beacongnn/internal/exp"
 	"beacongnn/internal/metrics"
 )
@@ -55,6 +56,43 @@ type Config struct {
 	Check bool
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
+
+	// MaxAttempts is the total tries a simulate request gets against
+	// transient engine faults, including the first (0 = 3; 1 disables
+	// retries). Deterministic simulation errors never retry.
+	MaxAttempts int
+	// RetryBudgetRatio is the retry-budget earn rate: tokens credited
+	// per fresh request, spent one per retry, so retries self-limit to
+	// this fraction of offered load under sustained failure (0 = 0.2;
+	// negative disables retries entirely).
+	RetryBudgetRatio float64
+	// RetryBackoffBase/Max bound the exponential retry delay
+	// (0 = 50ms base, 2s max); jitter is deterministic per SimKey.
+	RetryBackoffBase time.Duration
+	RetryBackoffMax  time.Duration
+	// HedgeAfter launches a duplicate simulation when the primary has
+	// not answered within this long, first result winning and the loser
+	// cancelled mid-kernel (0 = hedging off).
+	HedgeAfter time.Duration
+	// BreakerThreshold consecutive engine failures trip a per-
+	// (platform, dataset) circuit breaker (0 = 5); BreakerCooldown is
+	// its open dwell before a half-open probe (0 = 10s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// StaleCap bounds the degraded-mode cache of last-known-good
+	// results served under an open breaker (0 = 64).
+	StaleCap int
+	// RetryAfterCeiling caps the Retry-After estimate handed to shed
+	// clients (0 = 60s); the floor stays 1s.
+	RetryAfterCeiling time.Duration
+	// DrainTimeout is the hard drain deadline: this long after
+	// BeginDrain, CancelInflight aborts stragglers via per-request
+	// cancellation (0 = 30s). Enforced by the cmd layer.
+	DrainTimeout time.Duration
+
+	// Chaos configures fault injection (default off: zero overhead and
+	// byte-identical behaviour).
+	Chaos chaos.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -82,19 +120,53 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatches <= 0 {
 		c.MaxBatches = 64
 	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.RetryBudgetRatio == 0 {
+		c.RetryBudgetRatio = 0.2
+	}
+	if c.RetryBackoffBase <= 0 {
+		c.RetryBackoffBase = 50 * time.Millisecond
+	}
+	if c.RetryBackoffMax <= 0 {
+		c.RetryBackoffMax = 2 * time.Second
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 10 * time.Second
+	}
+	if c.StaleCap <= 0 {
+		c.StaleCap = 64
+	}
+	if c.RetryAfterCeiling <= 0 {
+		c.RetryAfterCeiling = 60 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
 	return c
 }
 
 // Server is the HTTP serving layer. Create with New; it is an
 // http.Handler ready to mount on any http.Server or test harness.
 type Server struct {
-	cfg   Config
-	eng   *exp.Engine
-	reg   *metrics.Registry
-	insts *instCache
-	adm   *admission
-	mux   *http.ServeMux
-	start time.Time
+	cfg     Config
+	eng     *exp.Engine
+	reg     *metrics.Registry
+	insts   *instCache
+	adm     *admission
+	mux     *http.ServeMux
+	handler http.Handler // mux, or chaos middleware around it
+	start   time.Time
+
+	budget   *chaos.RetryBudget
+	breakers *breakerSet
+	stale    *staleCache
+	inflight *drainSet
+	injector *chaos.Injector // nil unless chaos is enabled
 
 	draining atomic.Bool
 }
@@ -109,14 +181,21 @@ func New(cfg Config) *Server {
 	}
 	eng.SetMemoCap(cfg.CacheResults)
 	s := &Server{
-		cfg:   cfg,
-		eng:   eng,
-		reg:   metrics.NewRegistry(),
-		insts: newInstCache(cfg.CacheInstances, eng),
-		adm:   newAdmission(cfg.QueueDepth),
-		mux:   http.NewServeMux(),
-		start: time.Now(),
+		cfg:      cfg,
+		eng:      eng,
+		reg:      metrics.NewRegistry(),
+		insts:    newInstCache(cfg.CacheInstances, eng),
+		adm:      newAdmission(cfg.QueueDepth),
+		mux:      http.NewServeMux(),
+		start:    time.Now(),
+		budget:   chaos.NewRetryBudget(cfg.RetryBudgetRatio, 0),
+		stale:    newStaleCache(cfg.StaleCap),
+		inflight: newDrainSet(),
 	}
+	s.breakers = newBreakerSet(chaos.BreakerConfig{
+		Threshold: cfg.BreakerThreshold,
+		Cooldown:  cfg.BreakerCooldown.Nanoseconds(),
+	}, s.reg)
 	s.reg.GaugeFunc("beaconserved_uptime_seconds", func() float64 {
 		return time.Since(s.start).Seconds()
 	})
@@ -134,7 +213,19 @@ func New(cfg Config) *Server {
 	s.reg.GaugeFunc("beaconserved_workers", func() float64 {
 		return float64(cfg.Workers)
 	})
+	s.reg.GaugeFunc("beaconserved_inflight_requests", func() float64 {
+		return float64(s.inflight.len())
+	})
 	s.routes()
+	s.handler = s.mux
+	if cfg.Chaos.Active() {
+		in := chaos.New(cfg.Chaos)
+		in.Attach(eng)
+		s.injector = in
+		s.handler = in.WrapHTTP(s.mux, func(class string) {
+			s.reg.Counter(`beaconserved_chaos_injected_total{class="` + class + `"}`).Inc()
+		})
+	}
 	return s
 }
 
@@ -153,20 +244,33 @@ func (s *Server) routes() {
 	}
 }
 
-// ServeHTTP dispatches to the mux, counting every request.
+// ServeHTTP dispatches to the handler chain (chaos middleware when
+// enabled, else the bare mux), counting every request.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.reg.Counter("beaconserved_requests_total").Inc()
-	s.mux.ServeHTTP(w, r)
+	s.handler.ServeHTTP(w, r)
 }
 
 // Engine exposes the shared experiment engine (tests compare its stats).
 func (s *Server) Engine() *exp.Engine { return s.eng }
 
+// Injector exposes the chaos injector (nil when chaos is off); tests
+// disarm it to let a faulted server recover on cue.
+func (s *Server) Injector() *chaos.Injector { return s.injector }
+
 // BeginDrain flips the server into draining: /healthz turns 503 so load
 // balancers stop routing here, and new heavy work is refused with 503
 // while in-flight requests run to completion. The HTTP layer
-// (http.Server.Shutdown) then waits for active connections.
+// (http.Server.Shutdown) then waits for active connections; if they
+// outlive Config.DrainTimeout the cmd layer calls CancelInflight.
 func (s *Server) BeginDrain() { s.draining.Store(true) }
 
 // Draining reports whether BeginDrain was called.
 func (s *Server) Draining() bool { return s.draining.Load() }
+
+// CancelInflight aborts every tracked in-flight heavy request through
+// its per-request cancellation — the same path a disconnected client
+// takes, observed mid-kernel — and returns how many were cancelled.
+// This is the drain hard-deadline: stragglers stop burning CPU and
+// their connections close, unblocking http.Server.Shutdown.
+func (s *Server) CancelInflight() int { return s.inflight.cancelAll() }

@@ -153,6 +153,8 @@ type Kernel struct {
 	canceled bool
 	probe    func(at Time)
 	cancel   func() bool
+	// cancelEvery overrides cancelStride when non-zero (SetCancelStride).
+	cancelEvery uint64
 }
 
 // cancelStride is how many events run between cancellation polls. The
@@ -215,17 +217,39 @@ func (k *Kernel) Stop() { k.stopped = true }
 func (k *Kernel) Stopped() bool { return k.stopped }
 
 // SetCancel installs an external-abandonment poll (typically a closure
-// over ctx.Err). It is checked every cancelStride events; when it
-// returns true the loop stops exactly like Stop, and Canceled reports
-// true so callers can tell abandonment from a normal early Stop. A nil
-// poll (the default) adds one pointer check per event.
+// over ctx.Err). It is checked every cancelStride events (see
+// SetCancelStride); when it returns true the loop stops exactly like
+// Stop, and Canceled reports true so callers can tell abandonment from
+// a normal early Stop. A nil poll (the default) adds one pointer check
+// per event.
 func (k *Kernel) SetCancel(poll func() bool) { k.cancel = poll }
+
+// SetCancelStride overrides how many events run between cancellation
+// polls (n <= 0 restores the cancelStride default). Fault-heavy
+// schedules stretch per-event wall cost (recovery ladders, storms), so
+// abandonment-sensitive callers — hedged duplicates, draining daemons —
+// poll finer. Polling only observes: results are identical at any
+// stride.
+func (k *Kernel) SetCancelStride(n int) {
+	if n <= 0 {
+		k.cancelEvery = 0
+		return
+	}
+	k.cancelEvery = uint64(n)
+}
 
 // Canceled reports whether the cancel poll stopped the loop.
 func (k *Kernel) Canceled() bool { return k.canceled }
 
 func (k *Kernel) pollCancel() bool {
-	if k.cancel != nil && k.steps%cancelStride == 0 && k.cancel() {
+	if k.cancel == nil {
+		return false
+	}
+	stride := k.cancelEvery
+	if stride == 0 {
+		stride = cancelStride
+	}
+	if k.steps%stride == 0 && k.cancel() {
 		k.canceled = true
 		k.stopped = true
 		return true
