@@ -7,7 +7,8 @@ BENCHREPORT ?= bench_report.txt
 PROFILEDIR ?= profiles
 
 .PHONY: build test race vet bench check cover invariants fuzz-smoke \
-	lint bench-run bench-gate bench-baseline smoke smoke-chaos profile
+	lint bench-run bench-gate bench-baseline smoke smoke-chaos \
+	smoke-capacity profile
 
 build:
 	$(GO) build ./...
@@ -74,6 +75,8 @@ bench-run:
 		-benchmem -benchtime=0.5s -count=$(BENCHCOUNT) ./internal/sim/ | tee $(BENCHOUT)
 	$(GO) test -run='^$$' -bench='BenchmarkRequestPath' \
 		-benchmem -benchtime=0.5s -count=$(BENCHCOUNT) ./internal/serve/ | tee -a $(BENCHOUT)
+	$(GO) test -run='^$$' -bench='BenchmarkCapacityStep' \
+		-benchmem -benchtime=0.5s -count=$(BENCHCOUNT) ./internal/loadgen/ | tee -a $(BENCHOUT)
 	$(GO) test -run='^$$' -bench='BenchmarkRunAllParallel' \
 		-benchmem -benchtime=1x -count=$(BENCHCOUNT) . | tee -a $(BENCHOUT)
 
@@ -118,6 +121,13 @@ smoke:
 # the -exp chaos sweep must be byte-identical across -parallel widths.
 smoke-chaos:
 	./ci/smoke_chaos.sh
+
+# Capacity smoke: the virtual -exp capacity sweep must be byte-identical
+# across -parallel widths and carry knees in its JSON; a live daemon
+# with -capacity-qps must shed the open-loop driver's excess load with
+# 429s (never hard failures) and drain cleanly.
+smoke-capacity:
+	./ci/smoke_capacity.sh
 
 # Tier-1 verification: everything CI gates on.
 check: build vet test race invariants

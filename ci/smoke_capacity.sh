@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Capacity smoke test: the open-loop SLO capacity pipeline end to end.
+# First the deterministic half — the virtual `-exp capacity` sweep must
+# be byte-identical across -parallel widths and its JSON report must
+# carry capacity_curves with a knee per curve. Then the live half —
+# start beaconserved with a deliberately tiny -capacity-qps knee, run
+# the coordinated-omission-safe open-loop driver against it, and assert
+# the knee limiter actually sheds (429s show up as shed, not failures)
+# while the daemon still drains cleanly on SIGTERM.
+#
+# Run from the repo root: ./ci/smoke_capacity.sh
+# Needs: go, curl. Uses its own loopback port.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+ADDR="127.0.0.1:18475"
+LOG="$(mktemp /tmp/beaconserved.capacity.XXXXXX.log)"
+BIN="$(mktemp -d)/beaconserved"
+PID=""
+
+cleanup() {
+    if [[ -n "$PID" ]] && kill -0 "$PID" 2>/dev/null; then
+        kill -9 "$PID" 2>/dev/null || true
+    fi
+    rm -f "$BIN"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "smoke-capacity: FAIL: $*" >&2
+    echo "---- daemon log ----" >&2
+    cat "$LOG" >&2 || true
+    exit 1
+}
+
+echo "== deterministic capacity sweep (-exp capacity)"
+go run ./cmd/beaconbench -exp capacity -quick -check -parallel 1 >/tmp/smoke_cap_a.txt
+go run ./cmd/beaconbench -exp capacity -quick -check -parallel 8 >/tmp/smoke_cap_b.txt
+cmp -s /tmp/smoke_cap_a.txt /tmp/smoke_cap_b.txt \
+    || fail "-exp capacity report differs between -parallel 1 and 8"
+grep -q "capacity curves" /tmp/smoke_cap_a.txt || fail "capacity report malformed"
+
+echo "== JSON report carries capacity_curves and a knee"
+go run ./cmd/beaconbench -exp capacity -quick -json >/tmp/smoke_cap.json
+grep -q '"capacity_curves"' /tmp/smoke_cap.json || fail "JSON missing capacity_curves"
+grep -q '"knee_qps"' /tmp/smoke_cap.json || fail "JSON missing knee_qps"
+
+echo "== build"
+go build -o "$BIN" ./cmd/beaconserved
+
+echo "== start with a 2 qps capacity knee on $ADDR"
+"$BIN" -addr "$ADDR" -workers 2 -timeout 60s -capacity-qps 2 >"$LOG" 2>&1 &
+PID=$!
+
+for i in $(seq 1 100); do
+    if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    kill -0 "$PID" 2>/dev/null || fail "daemon exited during startup"
+    sleep 0.1
+done
+
+echo "== live open-loop sweep far above the knee sheds instead of failing"
+go run ./cmd/beaconbench -drive "http://$ADDR" -drive-capacity \
+    -drive-qps 40 -drive-requests 30 -drive-concurrency 8 \
+    >/tmp/smoke_cap_drive.txt || fail "capacity driver saw hard failures: $(cat /tmp/smoke_cap_drive.txt)"
+grep -q "knee:" /tmp/smoke_cap_drive.txt || fail "driver printed no knee line"
+
+echo "== daemon metrics show knee sheds and the configured knee"
+METRICS="$(curl -fsS "http://$ADDR/metrics")"
+echo "$METRICS" | grep -q 'beaconserved_capacity_qps 2' \
+    || fail "capacity_qps gauge missing: $(echo "$METRICS" | grep capacity || true)"
+SHED="$(echo "$METRICS" | grep '^beaconserved_capacity_shed_total' | awk '{print $2}')"
+[[ -n "$SHED" && "$SHED" -gt 0 ]] \
+    || fail "capacity_shed_total not incremented above the knee: ${SHED:-absent}"
+
+echo "== SIGTERM drain stays clean"
+kill -TERM "$PID"
+WAITED=0
+while kill -0 "$PID" 2>/dev/null; do
+    sleep 0.1
+    WAITED=$((WAITED + 1))
+    [[ "$WAITED" -lt 150 ]] || fail "daemon did not exit within 15s of SIGTERM"
+done
+set +e
+wait "$PID"
+EXIT=$?
+set -e
+[[ "$EXIT" == "0" ]] || fail "daemon exited $EXIT, want 0"
+
+echo "smoke-capacity: PASS"

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"beacongnn/internal/loadgen"
+	"beacongnn/internal/sim"
+)
+
+// driveCapacityConfig parameterizes the live open-loop sweep.
+type driveCapacityConfig struct {
+	qps      float64 // peak offered rate; the sweep walks {qps/2, qps}
+	arrival  string  // loadgen arrival kind
+	seed     uint64
+	requests int // per step
+	inflight int // client send slots
+}
+
+// httpBackend posts one scheduled request to a live beaconserved,
+// classifying the response the same way runDrive does. The query class
+// becomes the simulation seed, so Zipf-hot classes exercise the daemon's
+// memo fast path exactly like the virtual beaconserved model.
+type httpBackend struct {
+	url    string
+	client *http.Client
+}
+
+func (b *httpBackend) Do(req loadgen.Request) loadgen.Outcome {
+	body := map[string]any{
+		"platform": "BG-2",
+		"dataset":  "amazon",
+		"nodes":    2000,
+		"batches":  2,
+	}
+	if req.Class > 0 {
+		body["seed"] = uint64(req.Class)
+	}
+	enc, _ := json.Marshal(body)
+	resp, err := b.client.Post(b.url+"/v1/simulate", "application/json", bytes.NewReader(enc))
+	if err != nil {
+		return loadgen.OutcomeFailed
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		return loadgen.OutcomeOK
+	case resp.StatusCode == http.StatusTooManyRequests ||
+		resp.StatusCode == http.StatusServiceUnavailable:
+		return loadgen.OutcomeShed
+	default:
+		return loadgen.OutcomeFailed
+	}
+}
+
+// arrivalSpec builds the swept arrival process at the given rate.
+func arrivalSpec(kind string, rate float64) loadgen.Spec {
+	spec := loadgen.Spec{Kind: kind, Rate: rate}
+	switch kind {
+	case loadgen.ArrivalMMPP:
+		spec.Burst = 1.7
+		spec.Dwell = 2 * sim.Second
+	case loadgen.ArrivalDiurnal:
+		spec.Amp = 0.6
+	}
+	return spec
+}
+
+// runDriveCapacity is the live counterpart of -exp capacity: a seeded
+// open-loop schedule replayed in wall-clock time against a running
+// beaconserved, reporting coordinated-omission-safe intended-start tails
+// next to the naive send-time tails and the detected knee. Like -drive,
+// wall-clock numbers vary run to run; the virtual sweep is the
+// deterministic record, this is the drill.
+func runDriveCapacity(base string, cfg driveCapacityConfig, w io.Writer) error {
+	base = strings.TrimRight(base, "/")
+	backend := &httpBackend{url: base, client: &http.Client{Timeout: 5 * time.Minute}}
+
+	fractions := []float64{0.5, 1.0}
+	fmt.Fprintf(w, "open-loop capacity drive of %s: %s arrivals, %d requests/step, %d send slots, seed %d\n",
+		base, cfg.arrival, cfg.requests, cfg.inflight, cfg.seed)
+	fmt.Fprintf(w, "  %10s %9s %5s %5s %5s %10s %10s %12s %6s\n",
+		"offered", "goodput", "ok", "shed", "fail", "p50", "p99", "naive p99", "late")
+	var steps []loadgen.StepResult
+	for i, f := range fractions {
+		rate := cfg.qps * f
+		sched, err := loadgen.Build(loadgen.ScheduleSpec{
+			Seed:     cfg.seed + uint64(i),
+			Arrival:  arrivalSpec(cfg.arrival, rate),
+			Requests: cfg.requests,
+			Classes:  8,
+			Skew:     1.0,
+		})
+		if err != nil {
+			return err
+		}
+		res, err := loadgen.RunLive(sched, backend, loadgen.LiveConfig{MaxInflight: cfg.inflight})
+		if err != nil {
+			return err
+		}
+		res.OfferedQPS = rate // grid-defined, like the virtual sweep
+		steps = append(steps, res.StepResult)
+		fmt.Fprintf(w, "  %8.1f/s %7.1f/s %5d %5d %5d %10v %10v %12v %6d\n",
+			res.OfferedQPS, res.GoodputQPS, res.OK, res.Shed, res.Failed,
+			sim.Time(res.P50Ns), sim.Time(res.P99Ns), sim.Time(res.NaiveP99Ns), res.LateSends)
+	}
+	knee, saturated := loadgen.Knee(steps, loadgen.DefaultKneeRule())
+	switch {
+	case knee < 0:
+		fmt.Fprintf(w, "  knee: below the sweep (lightest step already violates the SLO rule)\n")
+	case saturated:
+		fmt.Fprintf(w, "  knee: %.1f qps — feed this to beaconserved -capacity-qps\n", steps[knee].OfferedQPS)
+	default:
+		fmt.Fprintf(w, "  knee: >= %.1f qps (sweep never saturated; lower bound for -capacity-qps)\n", steps[knee].OfferedQPS)
+	}
+	for _, s := range steps {
+		if s.Failed > 0 {
+			return fmt.Errorf("%d request(s) hard-failed", s.Failed)
+		}
+	}
+	return nil
+}

@@ -8,6 +8,7 @@ import (
 
 	"beacongnn/internal/config"
 	"beacongnn/internal/core"
+	"beacongnn/internal/loadgen"
 	"beacongnn/internal/platform"
 )
 
@@ -22,6 +23,10 @@ type cliConfig struct {
 	drive    string
 	driveN   int
 	driveC   int
+	driveCap bool
+	driveQPS float64
+	driveArr string
+	driveSd  uint64
 	opts     *core.Options
 }
 
@@ -50,6 +55,10 @@ func parseCLI(args []string, stderr io.Writer) (*cliConfig, error) {
 		drive    = fs.String("drive", "", "drive a live beaconserved at this base URL and report availability")
 		driveN   = fs.Int("drive-requests", 60, "requests to issue with -drive")
 		driveC   = fs.Int("drive-concurrency", 4, "concurrent clients with -drive")
+		driveCap = fs.Bool("drive-capacity", false, "with -drive: open-loop capacity sweep (coordinated-omission-safe) instead of the closed-loop drill")
+		driveQPS = fs.Float64("drive-qps", 50, "peak offered rate for -drive-capacity; the sweep walks half rate then full rate")
+		driveArr = fs.String("drive-arrival", "poisson", "arrival process for -drive-capacity: poisson, mmpp, diurnal, uniform")
+		driveSd  = fs.Uint64("drive-seed", 1, "schedule seed for -drive-capacity")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -73,6 +82,19 @@ func parseCLI(args []string, stderr io.Writer) (*cliConfig, error) {
 	}
 	if *drive != "" && (*driveN <= 0 || *driveC <= 0) {
 		return fail("-drive-requests and -drive-concurrency must be positive")
+	}
+	if *driveCap {
+		if *drive == "" {
+			return fail("-drive-capacity requires -drive <base URL>")
+		}
+		if *driveQPS <= 0 {
+			return fail("-drive-qps must be positive, got %g", *driveQPS)
+		}
+		switch *driveArr {
+		case loadgen.ArrivalPoisson, loadgen.ArrivalMMPP, loadgen.ArrivalDiurnal, loadgen.ArrivalUniform:
+		default:
+			return fail("-drive-arrival: unknown arrival process %q", *driveArr)
+		}
 	}
 	if !*list && *drive == "" && *exp != "all" {
 		if _, err := core.ByID(*exp); err != nil {
@@ -102,6 +124,10 @@ func parseCLI(args []string, stderr io.Writer) (*cliConfig, error) {
 		drive:    *drive,
 		driveN:   *driveN,
 		driveC:   *driveC,
+		driveCap: *driveCap,
+		driveQPS: *driveQPS,
+		driveArr: *driveArr,
+		driveSd:  *driveSd,
 		opts: &core.Options{
 			Cfg:        cfg,
 			Quick:      *quick,

@@ -45,6 +45,12 @@ func TestParseCLIValid(t *testing.T) {
 				t.Errorf("trace fields = %q %q %q", c.traceOut, c.tracePlt, c.traceDS)
 			}
 		}},
+		{"drive-capacity", []string{"-drive", "http://x:1", "-drive-capacity", "-drive-qps", "25",
+			"-drive-arrival", "mmpp", "-drive-seed", "9"}, func(t *testing.T, c *cliConfig) {
+			if !c.driveCap || c.driveQPS != 25 || c.driveArr != "mmpp" || c.driveSd != 9 {
+				t.Errorf("capacity drive fields = %+v", c)
+			}
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -70,6 +76,9 @@ func TestParseCLIErrors(t *testing.T) {
 		{"negative-batches", []string{"-batches", "-1"}, "-batches"},
 		{"negative-parallel", []string{"-parallel", "-4"}, "-parallel"},
 		{"bad-trace-platform", []string{"-trace", "t.json", "-trace-platform", "BG-9"}, "BG-9"},
+		{"capacity-without-drive", []string{"-drive-capacity"}, "-drive"},
+		{"capacity-bad-qps", []string{"-drive", "http://x:1", "-drive-capacity", "-drive-qps", "0"}, "-drive-qps"},
+		{"capacity-bad-arrival", []string{"-drive", "http://x:1", "-drive-capacity", "-drive-arrival", "weibull"}, "weibull"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

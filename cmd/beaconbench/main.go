@@ -12,6 +12,7 @@
 //	beaconbench -list               # available experiment ids
 //	beaconbench -trace out.json -trace-platform BG-2   # request trace
 //	beaconbench -drive http://localhost:8080 -drive-requests 100   # live availability drill
+//	beaconbench -drive http://localhost:8080 -drive-capacity -drive-qps 40   # live open-loop capacity sweep
 //
 // Simulations fan out across -parallel workers (default: all CPU
 // cores); output is byte-identical for any worker count, including
@@ -48,7 +49,18 @@ func main() {
 		return
 	}
 	if c.drive != "" {
-		if err := runDrive(c.drive, c.driveN, c.driveC, os.Stdout); err != nil {
+		if c.driveCap {
+			err = runDriveCapacity(c.drive, driveCapacityConfig{
+				qps:      c.driveQPS,
+				arrival:  c.driveArr,
+				seed:     c.driveSd,
+				requests: c.driveN,
+				inflight: c.driveC,
+			}, os.Stdout)
+		} else {
+			err = runDrive(c.drive, c.driveN, c.driveC, os.Stdout)
+		}
+		if err != nil {
 			fatal(err)
 		}
 		return
@@ -71,6 +83,16 @@ func main() {
 	if c.jsonOut {
 		if c.exp == "sched" {
 			rep, err := core.BuildSchedReport(o)
+			if err == nil {
+				err = rep.WriteJSON(os.Stdout)
+			}
+			if err != nil {
+				fatal(err)
+			}
+			return
+		}
+		if c.exp == "capacity" {
+			rep, _, err := core.BuildCapacityReport(o)
 			if err == nil {
 				err = rep.WriteJSON(os.Stdout)
 			}

@@ -78,6 +78,7 @@ func run(args []string) int {
 		brkCooldown  = fs.Duration("breaker-cooldown", 0, "breaker open dwell before a half-open probe (0 = 10s)")
 		staleCap     = fs.Int("stale-cap", 0, "LRU cap on last-known-good results for degraded mode (0 = 64)")
 		retryCeiling = fs.Duration("retry-after-ceiling", 0, "cap on the Retry-After estimate sent to shed clients (0 = 60s)")
+		capacityQPS  = fs.Float64("capacity-qps", 0, "measured capacity knee (knee_qps from beaconbench -exp capacity -json); sustained load above it sheds by rate (0 = disabled)")
 
 		chaosSeed       = fs.Uint64("chaos-seed", 0, "chaos injection schedule seed")
 		chaosFailRate   = fs.Float64("chaos-engine-fail-rate", 0, "P(simulation run fails transiently)")
@@ -142,6 +143,7 @@ func run(args []string) int {
 		BreakerCooldown:   *brkCooldown,
 		StaleCap:          *staleCap,
 		RetryAfterCeiling: *retryCeiling,
+		CapacityQPS:       *capacityQPS,
 		DrainTimeout:      *drainTimeout,
 		Chaos:             ccfg,
 	})

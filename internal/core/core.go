@@ -136,6 +136,7 @@ func AllExperiments() []Experiment {
 		Experiment{"reliab", "Reliability: throughput and latency vs wear, RBER, and outages", RunReliability},
 		Experiment{"sched", "Scheduling: flash queueing policies (fifo/sjf/edf/totalfit)", RunSched},
 		Experiment{"chaos", "Chaos: availability, goodput, and MTTR under injected faults", RunChaos},
+		Experiment{"capacity", "Capacity: open-loop SLO capacity curves and saturation knees", RunCapacity},
 	)
 }
 

@@ -1,0 +1,189 @@
+// Package loadgen is a deterministic open-loop workload generator.
+//
+// Closed-loop drivers (a fixed pool of callers that wait for each reply
+// before sending the next request) silently slow down when the system
+// under test slows down, hiding exactly the latency they were meant to
+// measure — the coordinated-omission trap. loadgen instead materializes
+// the full arrival schedule up front from a seeded PRNG: every request
+// has an intended start time fixed before the run, offered load never
+// reacts to the backend, and every latency sample is measured from the
+// intended start, not from whenever the harness got around to sending.
+//
+// The same schedule drives two backends behind one interface: the
+// simulator directly in virtual time (RunVirtual — exact, byte-identical
+// at any parallelism) and a live beaconserved over HTTP (RunLive).
+package loadgen
+
+import (
+	"fmt"
+	"math"
+
+	"beacongnn/internal/sim"
+	"beacongnn/internal/xrand"
+)
+
+// Arrival process kinds accepted by Spec.Kind.
+const (
+	ArrivalPoisson = "poisson" // homogeneous Poisson: i.i.d. exponential gaps
+	ArrivalMMPP    = "mmpp"    // 2-state Markov-modulated Poisson (bursty, CV > 1)
+	ArrivalDiurnal = "diurnal" // sinusoidally modulated Poisson via Lewis thinning
+	ArrivalUniform = "uniform" // fixed 1/rate pacing (deterministic, CV = 0)
+)
+
+// Spec describes an arrival process. Rate is the long-run offered load
+// in requests per second for every kind — MMPP's state rates and the
+// diurnal modulation are both constructed to preserve it, so sweeping
+// Rate sweeps true offered load regardless of burstiness shape.
+type Spec struct {
+	Kind string
+	Rate float64 // mean arrivals per second; must be > 0
+
+	// Burst sets the MMPP high-state intensity: rateHi = Rate·Burst and
+	// rateLo = Rate·(2−Burst) with equal expected dwells, so the time
+	// average stays Rate. Must lie in (1, 2); ignored by other kinds.
+	Burst float64
+
+	// Dwell is the mean sojourn in each MMPP state (default 250ms).
+	Dwell sim.Time
+
+	// Amp is the diurnal modulation depth: λ(t) = Rate·(1 + Amp·sin(2πt/Period)).
+	// Must lie in [0, 1]; ignored by other kinds.
+	Amp float64
+
+	// Period is the diurnal cycle length (default 10s of virtual time —
+	// a compressed "day" so sweeps see whole cycles).
+	Period sim.Time
+}
+
+const (
+	defaultDwell  = 250 * sim.Millisecond
+	defaultPeriod = 10 * sim.Second
+)
+
+func (s Spec) validate() error {
+	if s.Rate <= 0 || math.IsNaN(s.Rate) || math.IsInf(s.Rate, 0) {
+		return fmt.Errorf("loadgen: arrival rate %v must be a positive finite qps", s.Rate)
+	}
+	switch s.Kind {
+	case ArrivalPoisson, ArrivalUniform:
+	case ArrivalMMPP:
+		if s.Burst <= 1 || s.Burst >= 2 {
+			return fmt.Errorf("loadgen: mmpp burst %v must lie in (1, 2)", s.Burst)
+		}
+		if s.Dwell < 0 {
+			return fmt.Errorf("loadgen: mmpp dwell %v must be non-negative", s.Dwell)
+		}
+	case ArrivalDiurnal:
+		if s.Amp < 0 || s.Amp > 1 {
+			return fmt.Errorf("loadgen: diurnal amplitude %v must lie in [0, 1]", s.Amp)
+		}
+		if s.Period < 0 {
+			return fmt.Errorf("loadgen: diurnal period %v must be non-negative", s.Period)
+		}
+	default:
+		return fmt.Errorf("loadgen: unknown arrival kind %q (want poisson|mmpp|diurnal|uniform)", s.Kind)
+	}
+	return nil
+}
+
+// Process generates a monotone stream of absolute arrival times from a
+// Spec and a private PRNG stream. Not safe for concurrent use.
+type Process struct {
+	spec Spec
+	rng  *xrand.Source
+	now  sim.Time // time of the last arrival emitted
+
+	// MMPP state: hi is the current phase, switchAt the scheduled
+	// transition out of it.
+	hi       bool
+	switchAt sim.Time
+}
+
+// NewProcess validates the spec and returns a generator whose entire
+// output is a pure function of (spec, the rng's seed).
+func NewProcess(spec Spec, rng *xrand.Source) (*Process, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	if spec.Kind == ArrivalMMPP && spec.Dwell == 0 {
+		spec.Dwell = defaultDwell
+	}
+	if spec.Kind == ArrivalDiurnal && spec.Period == 0 {
+		spec.Period = defaultPeriod
+	}
+	p := &Process{spec: spec, rng: rng, hi: true}
+	if spec.Kind == ArrivalMMPP {
+		p.switchAt = p.expDuration(1 / spec.Dwell.Seconds())
+	}
+	return p, nil
+}
+
+// expDuration draws an Exp(rate) duration, converted to sim.Time with a
+// 1ns floor so arrivals always advance the clock.
+func (p *Process) expDuration(rate float64) sim.Time {
+	u := p.rng.Float64()
+	d := sim.Time(-math.Log(1-u) / rate * float64(sim.Second))
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// Next returns the next absolute arrival time (strictly increasing).
+func (p *Process) Next() sim.Time {
+	switch p.spec.Kind {
+	case ArrivalUniform:
+		gap := sim.Time(float64(sim.Second) / p.spec.Rate)
+		if gap < 1 {
+			gap = 1
+		}
+		p.now += gap
+	case ArrivalPoisson:
+		p.now += p.expDuration(p.spec.Rate)
+	case ArrivalMMPP:
+		p.now = p.nextMMPP()
+	case ArrivalDiurnal:
+		p.now = p.nextDiurnal()
+	}
+	return p.now
+}
+
+// nextMMPP races the next candidate arrival in the current phase against
+// the scheduled phase switch; crossing a switch discards the candidate
+// (the exponential's memorylessness makes a redraw at the new rate
+// statistically exact) and schedules the next switch.
+func (p *Process) nextMMPP() sim.Time {
+	rateHi := p.spec.Rate * p.spec.Burst
+	rateLo := p.spec.Rate * (2 - p.spec.Burst)
+	t := p.now
+	for {
+		rate := rateLo
+		if p.hi {
+			rate = rateHi
+		}
+		cand := t + p.expDuration(rate)
+		if cand < p.switchAt {
+			return cand
+		}
+		t = p.switchAt
+		p.hi = !p.hi
+		p.switchAt = t + p.expDuration(1/p.spec.Dwell.Seconds())
+	}
+}
+
+// nextDiurnal draws from the non-homogeneous Poisson process
+// λ(t) = Rate·(1 + Amp·sin(2πt/Period)) by Lewis thinning: generate
+// candidates at the ceiling rate λmax = Rate·(1+Amp) and accept each
+// with probability λ(t)/λmax.
+func (p *Process) nextDiurnal() sim.Time {
+	lambdaMax := p.spec.Rate * (1 + p.spec.Amp)
+	t := p.now
+	for {
+		t += p.expDuration(lambdaMax)
+		phase := 2 * math.Pi * t.Seconds() / p.spec.Period.Seconds()
+		lambda := p.spec.Rate * (1 + p.spec.Amp*math.Sin(phase))
+		if p.rng.Float64()*lambdaMax < lambda {
+			return t
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package loadgen
+
+import (
+	"math"
+	"testing"
+
+	"beacongnn/internal/sim"
+	"beacongnn/internal/xrand"
+)
+
+// gapStats draws n arrivals and returns the empirical mean and
+// coefficient of variation of the inter-arrival gaps, in seconds.
+func gapStats(t *testing.T, spec Spec, seed uint64, n int) (mean, cv float64) {
+	t.Helper()
+	p, err := NewProcess(spec, xrand.New(seed))
+	if err != nil {
+		t.Fatalf("NewProcess: %v", err)
+	}
+	var prev sim.Time
+	gaps := make([]float64, n)
+	for i := range gaps {
+		next := p.Next()
+		if next <= prev {
+			t.Fatalf("arrival %d not strictly increasing: %v after %v", i, next, prev)
+		}
+		gaps[i] = (next - prev).Seconds()
+		prev = next
+	}
+	for _, g := range gaps {
+		mean += g
+	}
+	mean /= float64(n)
+	var varsum float64
+	for _, g := range gaps {
+		varsum += (g - mean) * (g - mean)
+	}
+	return mean, math.Sqrt(varsum/float64(n-1)) / mean
+}
+
+// TestPoissonMoments: exponential gaps have mean 1/λ and CV exactly 1.
+// 20k samples put the standard error of both well under the 5% bound.
+func TestPoissonMoments(t *testing.T) {
+	const rate = 1000.0
+	mean, cv := gapStats(t, Spec{Kind: ArrivalPoisson, Rate: rate}, 7, 20000)
+	if math.Abs(mean*rate-1) > 0.05 {
+		t.Fatalf("poisson mean gap = %vs, want ≈%vs", mean, 1/rate)
+	}
+	if math.Abs(cv-1) > 0.05 {
+		t.Fatalf("poisson CV = %v, want ≈1", cv)
+	}
+}
+
+// TestMMPPMoments: the 2-state construction preserves the long-run rate
+// (rateHi·½ + rateLo·½ = Rate) while modulation pushes the gap CV
+// strictly above the Poisson baseline of 1 — the defining burstiness
+// signature.
+func TestMMPPMoments(t *testing.T) {
+	const rate = 1000.0
+	spec := Spec{Kind: ArrivalMMPP, Rate: rate, Burst: 1.8, Dwell: 100 * sim.Millisecond}
+	mean, cv := gapStats(t, spec, 11, 20000)
+	if math.Abs(mean*rate-1) > 0.10 {
+		t.Fatalf("mmpp mean gap = %vs, want ≈%vs (rate not preserved)", mean, 1/rate)
+	}
+	if cv < 1.1 {
+		t.Fatalf("mmpp CV = %v, want > 1.1 (burstier than Poisson)", cv)
+	}
+}
+
+// TestDiurnalMeanPreserved: sin averages to zero over whole cycles, so
+// thinning at λ(t) = Rate·(1+Amp·sin) keeps the long-run rate at Rate.
+func TestDiurnalMeanPreserved(t *testing.T) {
+	const rate = 1000.0
+	spec := Spec{Kind: ArrivalDiurnal, Rate: rate, Amp: 0.8, Period: 2 * sim.Second}
+	mean, cv := gapStats(t, spec, 13, 20000) // 20s ≈ 10 whole periods
+	if math.Abs(mean*rate-1) > 0.10 {
+		t.Fatalf("diurnal mean gap = %vs, want ≈%vs", mean, 1/rate)
+	}
+	if cv <= 1.0 {
+		t.Fatalf("diurnal CV = %v, want > 1 (modulation adds variance)", cv)
+	}
+}
+
+// TestUniformExactPacing: deterministic 1/rate gaps, CV 0.
+func TestUniformExactPacing(t *testing.T) {
+	p, err := NewProcess(Spec{Kind: ArrivalUniform, Rate: 500}, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gap := sim.Time(float64(sim.Second) / 500)
+	for i := 1; i <= 10; i++ {
+		if got := p.Next(); got != sim.Time(i)*gap {
+			t.Fatalf("arrival %d = %v, want %v", i, got, sim.Time(i)*gap)
+		}
+	}
+}
+
+// TestZipfClassSkew: with skew s over C classes the class-k frequency is
+// ∝ 1/(k+1)^s, so counts must fall with rank and the hottest class must
+// dominate the coldest by roughly C^s.
+func TestZipfClassSkew(t *testing.T) {
+	sched, err := Build(ScheduleSpec{
+		Seed:     21,
+		Arrival:  Spec{Kind: ArrivalPoisson, Rate: 1000},
+		Requests: 20000,
+		Classes:  10,
+		Skew:     1.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 10)
+	for _, r := range sched {
+		counts[r.Class]++
+	}
+	// Head ranks strictly ordered (tail ranks are noisy at these counts).
+	if !(counts[0] > counts[1] && counts[1] > counts[2] && counts[2] > counts[3]) {
+		t.Fatalf("head class counts not rank-ordered: %v", counts)
+	}
+	// Analytic class-0/class-8 ratio is 9^1.1 ≈ 11.2; the bounded
+	// inverse-CDF approximation (which also starves the very last rank)
+	// and sampling noise motivate a loose two-sided band.
+	ratio := float64(counts[0]) / float64(counts[8]+1)
+	if ratio < 4 || ratio > 40 {
+		t.Fatalf("class 0/8 ratio = %v (counts %v), want within [4, 40] of 9^1.1", ratio, counts)
+	}
+}
+
+// TestUniformClassSelection: skew 0 spreads classes evenly.
+func TestUniformClassSelection(t *testing.T) {
+	sched, err := Build(ScheduleSpec{
+		Seed:     5,
+		Arrival:  Spec{Kind: ArrivalPoisson, Rate: 1000},
+		Requests: 10000,
+		Classes:  4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 4)
+	for _, r := range sched {
+		counts[r.Class]++
+	}
+	for c, n := range counts {
+		if n < 2200 || n > 2800 {
+			t.Fatalf("uniform class %d count = %d, want ≈2500", c, n)
+		}
+	}
+}
+
+// TestScheduleDeterministic: the schedule is a pure function of the
+// spec; a different seed diverges.
+func TestScheduleDeterministic(t *testing.T) {
+	spec := ScheduleSpec{
+		Seed:     99,
+		Arrival:  Spec{Kind: ArrivalMMPP, Rate: 800, Burst: 1.5},
+		Requests: 500,
+		Classes:  8,
+		Skew:     0.9,
+	}
+	a, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Build(spec)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same spec diverged at request %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	spec.Seed = 100
+	c, _ := Build(spec)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced an identical schedule")
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	bad := []Spec{
+		{Kind: "weibull", Rate: 100},
+		{Kind: ArrivalPoisson, Rate: 0},
+		{Kind: ArrivalPoisson, Rate: math.Inf(1)},
+		{Kind: ArrivalMMPP, Rate: 100, Burst: 1},
+		{Kind: ArrivalMMPP, Rate: 100, Burst: 2.5},
+		{Kind: ArrivalDiurnal, Rate: 100, Amp: 1.5},
+		{Kind: ArrivalDiurnal, Rate: 100, Amp: -0.1},
+	}
+	for _, s := range bad {
+		if _, err := NewProcess(s, xrand.New(1)); err == nil {
+			t.Fatalf("spec %+v accepted", s)
+		}
+	}
+	if _, err := Build(ScheduleSpec{Arrival: Spec{Kind: ArrivalPoisson, Rate: 10}, Requests: 0, Classes: 1}); err == nil {
+		t.Fatal("zero request count accepted")
+	}
+	if _, err := Build(ScheduleSpec{Arrival: Spec{Kind: ArrivalPoisson, Rate: 10}, Requests: 5, Classes: 0}); err == nil {
+		t.Fatal("zero class count accepted")
+	}
+	if _, err := Build(ScheduleSpec{Arrival: Spec{Kind: ArrivalPoisson, Rate: 10}, Requests: 5, Classes: 2, Skew: -1}); err == nil {
+		t.Fatal("negative skew accepted")
+	}
+}

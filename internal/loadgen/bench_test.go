@@ -1,0 +1,38 @@
+package loadgen
+
+import (
+	"testing"
+
+	"beacongnn/internal/sim"
+)
+
+// BenchmarkCapacityStep measures one virtual sweep step end to end —
+// schedule build plus event-loop replay — the unit the capacity
+// experiment runs per (platform, arrival, load) grid point. Gated in
+// BENCH_BASELINE.json so the open-loop harness itself stays cheap.
+func BenchmarkCapacityStep(b *testing.B) {
+	spec := ScheduleSpec{
+		Seed:     17,
+		Arrival:  Spec{Kind: ArrivalMMPP, Rate: 2000, Burst: 1.6},
+		Requests: 2000,
+		Classes:  8,
+		Skew:     1.0,
+	}
+	backend := VirtualBackend{
+		Workers:  4,
+		Service:  []sim.Time{800 * sim.Microsecond, sim.Millisecond, 1200 * sim.Microsecond, 2 * sim.Millisecond, 900 * sim.Microsecond, 1100 * sim.Microsecond, 1500 * sim.Microsecond, 700 * sim.Microsecond},
+		CacheCap: 4,
+		CacheHit: 100 * sim.Microsecond,
+		Queue:    32,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sched, err := Build(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := RunVirtual(sched, backend); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+
+	"beacongnn/internal/sim"
+)
+
+// TestCoordinatedOmissionVisible is the regression the open-loop harness
+// exists for: replay a canned schedule against a backend that stalls
+// mid-run with a single client send slot. Requests scheduled during the
+// stall cannot leave the client, so their naive send-time latency looks
+// healthy while their intended-start latency carries the whole backlog.
+// A harness that measured only from send time would hide the stall —
+// the intended-start p99 must come out strictly larger.
+func TestCoordinatedOmissionVisible(t *testing.T) {
+	const (
+		gap     = 2 * time.Millisecond
+		stall   = 60 * time.Millisecond
+		fast    = 200 * time.Microsecond
+		nreq    = 40
+		stallLo = 5
+		stallHi = 8 // requests [5,8) stall
+	)
+	sched := make([]Request, nreq)
+	for i := range sched {
+		sched[i] = Request{ID: i, At: sim.Duration(time.Duration(i+1) * gap)}
+	}
+	backend := LiveFunc(func(req Request) Outcome {
+		if req.ID >= stallLo && req.ID < stallHi {
+			time.Sleep(stall)
+		} else {
+			time.Sleep(fast)
+		}
+		return OutcomeOK
+	})
+	res, err := RunLive(sched, backend, LiveConfig{MaxInflight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK != nreq {
+		t.Fatalf("ok = %d, want %d", res.OK, nreq)
+	}
+	// Three 60ms stalls against 2ms pacing put ~170ms of backlog on the
+	// requests queued behind the single slot: the intended-start tail
+	// must see it, the naive send-time tail must not (its worst sample
+	// is one stall, ~60ms).
+	if res.P99Ns <= res.NaiveP99Ns {
+		t.Fatalf("intended p99 %dns <= naive p99 %dns: coordinated omission hidden",
+			res.P99Ns, res.NaiveP99Ns)
+	}
+	if res.P99Ns < int64(sim.Duration(2*stall)) {
+		t.Fatalf("intended p99 = %dns, want the stall backlog (> %v)", res.P99Ns, 2*stall)
+	}
+	if res.LateSends == 0 {
+		t.Fatal("no late sends recorded despite a saturated send slot")
+	}
+}
+
+// TestRunLiveOutcomePartition: shed and failed outcomes are tallied
+// separately and excluded from the latency stream.
+func TestRunLiveOutcomePartition(t *testing.T) {
+	sched := make([]Request, 30)
+	for i := range sched {
+		sched[i] = Request{ID: i, At: sim.Time(i+1) * 100 * sim.Microsecond}
+	}
+	backend := LiveFunc(func(req Request) Outcome {
+		switch req.ID % 3 {
+		case 0:
+			return OutcomeOK
+		case 1:
+			return OutcomeShed
+		default:
+			return OutcomeFailed
+		}
+	})
+	res, err := RunLive(sched, backend, LiveConfig{MaxInflight: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK != 10 || res.Shed != 10 || res.Failed != 10 {
+		t.Fatalf("ok/shed/failed = %d/%d/%d, want 10/10/10", res.OK, res.Shed, res.Failed)
+	}
+	if res.OK+res.Shed+res.Failed != res.Requests {
+		t.Fatal("outcomes don't partition the schedule")
+	}
+}
+
+func TestRunLiveNilBackend(t *testing.T) {
+	if _, err := RunLive(nil, nil, LiveConfig{}); err == nil {
+		t.Fatal("nil backend accepted")
+	}
+}

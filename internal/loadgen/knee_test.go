@@ -1,0 +1,114 @@
+package loadgen
+
+import "testing"
+
+// step builds a synthetic curve point with full goodput unless overridden.
+func step(offered, goodput float64, p99 int64) StepResult {
+	return StepResult{OfferedQPS: offered, GoodputQPS: goodput, P99Ns: p99}
+}
+
+// TestKneeClassicSaturation: an M/M/1-shaped curve — flat tail up to
+// capacity, then goodput caps and the tail diverges — recovers the
+// saturation point within one sweep step.
+func TestKneeClassicSaturation(t *testing.T) {
+	steps := []StepResult{
+		step(100, 100, 1_000_000),
+		step(200, 199, 1_100_000),
+		step(300, 298, 1_400_000),
+		step(400, 340, 90_000_000), // saturated: goodput 85%, tail 90x
+		step(500, 341, 400_000_000),
+	}
+	knee, sat := Knee(steps, DefaultKneeRule())
+	if knee != 2 || !sat {
+		t.Fatalf("knee = %d, saturated = %v, want 2/true", knee, sat)
+	}
+}
+
+// TestKneeTailOnlyViolation: a backend that never sheds keeps goodput
+// perfect while its queue diverges — the tail criterion alone must trip.
+func TestKneeTailOnlyViolation(t *testing.T) {
+	steps := []StepResult{
+		step(100, 100, 1_000_000),
+		step(200, 200, 2_000_000),
+		step(300, 300, 80_000_000), // > 5x base p99
+	}
+	knee, sat := Knee(steps, DefaultKneeRule())
+	if knee != 1 || !sat {
+		t.Fatalf("knee = %d, saturated = %v, want 1/true", knee, sat)
+	}
+}
+
+// TestKneeGoodputOnlyViolation: a shedding backend keeps the tail flat
+// while quietly dropping load — the goodput criterion alone must trip.
+func TestKneeGoodputOnlyViolation(t *testing.T) {
+	steps := []StepResult{
+		step(100, 100, 1_000_000),
+		step(200, 150, 1_000_000), // shedding 25%, tail flat
+	}
+	knee, sat := Knee(steps, DefaultKneeRule())
+	if knee != 0 || !sat {
+		t.Fatalf("knee = %d, saturated = %v, want 0/true", knee, sat)
+	}
+}
+
+// TestKneeFlatCurveNeverSaturates: a sweep that stays inside capacity
+// reports the last step as a lower bound, not a knee.
+func TestKneeFlatCurveNeverSaturates(t *testing.T) {
+	steps := []StepResult{
+		step(100, 100, 1_000_000),
+		step(200, 200, 1_050_000),
+		step(300, 300, 1_100_000),
+	}
+	knee, sat := Knee(steps, DefaultKneeRule())
+	if knee != 2 || sat {
+		t.Fatalf("knee = %d, saturated = %v, want 2/false", knee, sat)
+	}
+}
+
+// TestKneeDegenerateFirstStep: even the lightest step violating the rule
+// means no capacity was demonstrated at all.
+func TestKneeDegenerateFirstStep(t *testing.T) {
+	steps := []StepResult{
+		step(100, 40, 1_000_000),
+		step(200, 45, 1_000_000),
+	}
+	knee, sat := Knee(steps, DefaultKneeRule())
+	if knee != -1 || sat {
+		t.Fatalf("knee = %d, saturated = %v, want -1/false", knee, sat)
+	}
+}
+
+// TestKneeNonConsecutiveRecoveryIgnored: a step past the first violation
+// that happens to satisfy the rule again (e.g. shedding restored a flat
+// tail) is beyond the knee and must not extend it.
+func TestKneeNonConsecutiveRecoveryIgnored(t *testing.T) {
+	steps := []StepResult{
+		step(100, 100, 1_000_000),
+		step(200, 100, 1_000_000), // violates: goodput half
+		step(300, 295, 1_000_000), // "recovers" — ignored
+	}
+	knee, sat := Knee(steps, DefaultKneeRule())
+	if knee != 0 || !sat {
+		t.Fatalf("knee = %d, saturated = %v, want 0/true", knee, sat)
+	}
+}
+
+// TestKneeEdgeCases: empty sweep, single step, zero base tail, and a
+// zeroed rule falling back to defaults — none may panic.
+func TestKneeEdgeCases(t *testing.T) {
+	if knee, sat := Knee(nil, DefaultKneeRule()); knee != -1 || sat {
+		t.Fatalf("empty sweep: %d/%v", knee, sat)
+	}
+	if knee, sat := Knee([]StepResult{step(100, 100, 1_000_000)}, DefaultKneeRule()); knee != 0 || sat {
+		t.Fatalf("single healthy step: %d/%v, want 0/false", knee, sat)
+	}
+	// All-shed first step has no latency samples: P99 = 0. Only the
+	// goodput criterion applies; flat goodput keeps every step.
+	zeroTail := []StepResult{step(100, 100, 0), step(200, 200, 0)}
+	if knee, sat := Knee(zeroTail, DefaultKneeRule()); knee != 1 || sat {
+		t.Fatalf("zero base tail: %d/%v, want 1/false", knee, sat)
+	}
+	if knee, _ := Knee(zeroTail, KneeRule{}); knee != 1 {
+		t.Fatalf("zero rule did not fall back to defaults: %d", knee)
+	}
+}

@@ -1,0 +1,122 @@
+package loadgen
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"beacongnn/internal/sim"
+)
+
+// Outcome classifies one live request.
+type Outcome int
+
+const (
+	OutcomeOK     Outcome = iota
+	OutcomeShed           // backend refused under admission control (429)
+	OutcomeFailed         // transport error or 5xx
+)
+
+// LiveBackend executes one request against a real system and blocks
+// until it settles. Implementations must be safe for concurrent calls.
+type LiveBackend interface {
+	Do(req Request) Outcome
+}
+
+// LiveFunc adapts a function to LiveBackend.
+type LiveFunc func(req Request) Outcome
+
+// Do implements LiveBackend.
+func (f LiveFunc) Do(req Request) Outcome { return f(req) }
+
+// LiveConfig bounds the live runner's client-side concurrency. The slot
+// pool is a harness limit, not a measurement boundary: when the backend
+// stalls and all slots are busy, sends fall behind their intended start
+// — exactly the coordinated omission an intended-start clock must not
+// hide, which is why RunLive records both clocks.
+type LiveConfig struct {
+	MaxInflight int      // concurrent in-flight requests (default 64)
+	LateBy      sim.Time // send counts as late when delayed past this (default 1ms)
+}
+
+// LiveResult extends the curve point with the naive send-time tail the
+// open-loop harness exists to correct: NaiveP99Ns measures from when the
+// request actually left the client, P99Ns (inherited) from when it was
+// scheduled to. Under backend stalls the intended-start tail is strictly
+// larger; reporting both makes the omission visible instead of silently
+// repaired.
+type LiveResult struct {
+	StepResult
+	NaiveP50Ns int64 `json:"naive_p50_ns"`
+	NaiveP99Ns int64 `json:"naive_p99_ns"`
+	LateSends  int   `json:"late_sends"`
+}
+
+// RunLive replays the schedule against a live backend in wall-clock
+// time. Each request is sent as close to its intended start as the slot
+// pool allows; latency samples are measured from the intended start
+// (coordinated-omission-safe) with the naive send-time tail kept
+// alongside for comparison.
+func RunLive(sched []Request, b LiveBackend, cfg LiveConfig) (LiveResult, error) {
+	if b == nil {
+		return LiveResult{}, fmt.Errorf("loadgen: live run needs a backend")
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 64
+	}
+	if cfg.LateBy <= 0 {
+		cfg.LateBy = sim.Millisecond
+	}
+
+	res := LiveResult{StepResult: StepResult{Requests: len(sched)}}
+	var (
+		intendedLat, naiveLat []sim.Time
+		mu                    sync.Mutex
+		wg                    sync.WaitGroup
+		slots                 = make(chan struct{}, cfg.MaxInflight)
+	)
+	start := time.Now()
+	for i := range sched {
+		req := sched[i]
+		intended := start.Add(time.Duration(req.At))
+		if d := time.Until(intended); d > 0 {
+			time.Sleep(d)
+		}
+		slots <- struct{}{} // blocks when the pool is saturated: the send is now late
+		sent := time.Now()
+		wg.Add(1)
+		go func() {
+			defer func() { <-slots; wg.Done() }()
+			outcome := b.Do(req)
+			end := time.Now()
+			mu.Lock()
+			defer mu.Unlock()
+			if sent.Sub(intended) > time.Duration(cfg.LateBy) {
+				res.LateSends++
+			}
+			switch outcome {
+			case OutcomeOK:
+				res.OK++
+				intendedLat = append(intendedLat, sim.Duration(end.Sub(intended)))
+				naiveLat = append(naiveLat, sim.Duration(end.Sub(sent)))
+			case OutcomeShed:
+				res.Shed++
+			default:
+				res.Failed++
+			}
+		}()
+	}
+	wg.Wait()
+	makespan := time.Since(start)
+
+	res.MakespanNs = makespan.Nanoseconds()
+	res.MeanNs, res.P50Ns, res.P99Ns, res.P999Ns, res.MaxNs = latSummary(intendedLat)
+	_, res.NaiveP50Ns, res.NaiveP99Ns, _, _ = latSummary(naiveLat)
+	if makespan > 0 {
+		res.GoodputQPS = float64(res.OK) / makespan.Seconds()
+	}
+	if n := len(sched); n > 0 && sched[n-1].At > 0 {
+		res.OfferedQPS = float64(n) / sched[n-1].At.Seconds()
+	}
+	return res, nil
+}

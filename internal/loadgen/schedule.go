@@ -1,0 +1,67 @@
+package loadgen
+
+import (
+	"fmt"
+
+	"beacongnn/internal/sim"
+	"beacongnn/internal/xrand"
+)
+
+// Request is one scheduled unit of offered load: its intended start time
+// (fixed before the run — the open-loop contract) and the query class it
+// draws, used for Zipf-skewed config/query-node selection and for
+// backend result caching.
+type Request struct {
+	ID    int
+	At    sim.Time // intended start, virtual or wall-relative
+	Class int
+}
+
+// ScheduleSpec describes a full open-loop schedule: the arrival process,
+// how many requests to draw, and how classes are selected. The schedule
+// is a pure function of the spec — same spec, same bytes.
+type ScheduleSpec struct {
+	Seed     uint64
+	Arrival  Spec
+	Requests int
+
+	// Classes is the number of distinct query classes (> 0). Skew > 0
+	// selects them Zipf(Classes, Skew)-distributed (class 0 hottest);
+	// Skew == 0 selects uniformly.
+	Classes int
+	Skew    float64
+}
+
+// Build materializes the schedule. Arrival times and class picks come
+// from two independent forked streams of one seeded source, so changing
+// the request count perturbs neither stream's prefix.
+func Build(spec ScheduleSpec) ([]Request, error) {
+	if spec.Requests <= 0 {
+		return nil, fmt.Errorf("loadgen: schedule needs a positive request count, got %d", spec.Requests)
+	}
+	if spec.Classes <= 0 {
+		return nil, fmt.Errorf("loadgen: schedule needs a positive class count, got %d", spec.Classes)
+	}
+	if spec.Skew < 0 {
+		return nil, fmt.Errorf("loadgen: class skew %v must be non-negative", spec.Skew)
+	}
+	base := xrand.New(spec.Seed)
+	arrivalRng, classRng := base.Fork(), base.Fork()
+	proc, err := NewProcess(spec.Arrival, arrivalRng)
+	if err != nil {
+		return nil, err
+	}
+	reqs := make([]Request, spec.Requests)
+	for i := range reqs {
+		class := 0
+		if spec.Classes > 1 {
+			if spec.Skew > 0 {
+				class = classRng.Zipf(spec.Classes, spec.Skew)
+			} else {
+				class = classRng.Intn(spec.Classes)
+			}
+		}
+		reqs[i] = Request{ID: i, At: proc.Next(), Class: class}
+	}
+	return reqs, nil
+}

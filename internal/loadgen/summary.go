@@ -1,0 +1,41 @@
+package loadgen
+
+import (
+	"math"
+	"sort"
+
+	"beacongnn/internal/sim"
+)
+
+// latSummary computes exact nearest-rank quantiles over raw latency
+// samples. Capacity curves can't use the shared metrics.Histogram here:
+// its 128 log-1.15 buckets top out near 51ms, and an overloaded open
+// queue's intended-start tail routinely reaches seconds — clamping it to
+// the last bucket would understate exactly the divergence the sweep
+// exists to measure. Step sample counts are bounded by the schedule
+// length, so an exact sort is cheap; sorting in place is fine because
+// samples are never needed in arrival order again.
+func latSummary(samples []sim.Time) (mean, p50, p99, p999, max int64) {
+	n := len(samples)
+	if n == 0 {
+		return 0, 0, 0, 0, 0
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	var sum sim.Time
+	for _, s := range samples {
+		sum += s
+	}
+	at := func(q float64) int64 {
+		// Nearest rank ⌈q·n⌉ with the same epsilon snap-down as
+		// metrics.Histogram.Quantile (0.07·100 lands a hair above 7).
+		rank := int(math.Ceil(q * float64(n) * (1 - 1e-9)))
+		if rank < 1 {
+			rank = 1
+		}
+		if rank > n {
+			rank = n
+		}
+		return int64(samples[rank-1])
+	}
+	return int64(sum / sim.Time(n)), at(0.5), at(0.99), at(0.999), int64(samples[n-1])
+}

@@ -1,0 +1,137 @@
+package loadgen
+
+import (
+	"fmt"
+
+	"beacongnn/internal/sim"
+)
+
+// VirtualBackend models a serving platform as a W-way service center in
+// virtual time: per-class service times (calibrated from memoized real
+// simulations by the capacity experiment), an optional LRU result cache
+// keyed by class, and an optional admission queue bound. The event loop
+// is single-threaded and consumes no randomness, so a run is a pure
+// function of (schedule, backend) — byte-identical at any -parallel
+// width.
+type VirtualBackend struct {
+	Workers int        // service-center width (> 0)
+	Service []sim.Time // service time per class; len must cover every class
+
+	// CacheCap > 0 enables an LRU result cache over classes: a hit
+	// serves in CacheHit instead of the class service time and does not
+	// occupy a worker (mirrors beaconserved's memo fast path).
+	CacheCap int
+	CacheHit sim.Time
+
+	// Queue > 0 sheds arrivals that find that many requests already
+	// waiting (mirrors beaconserved's admission depth). 0 = unbounded.
+	Queue int
+
+	Tracer sim.Tracer // optional: receives loadgen.backend spans
+}
+
+func (b VirtualBackend) validate(sched []Request) error {
+	if b.Workers <= 0 {
+		return fmt.Errorf("loadgen: virtual backend needs positive worker count, got %d", b.Workers)
+	}
+	if len(b.Service) == 0 {
+		return fmt.Errorf("loadgen: virtual backend needs at least one class service time")
+	}
+	for _, r := range sched {
+		if r.Class < 0 || r.Class >= len(b.Service) {
+			return fmt.Errorf("loadgen: request %d class %d outside the %d configured service classes",
+				r.ID, r.Class, len(b.Service))
+		}
+	}
+	return nil
+}
+
+// lruCache is a tiny ordered-slice LRU over class ids — capacities here
+// are small (tens), so O(cap) moves beat pointer-chasing a list.
+type lruCache struct {
+	cap  int
+	keys []int
+}
+
+func (c *lruCache) touch(class int) bool {
+	for i, k := range c.keys {
+		if k == class {
+			copy(c.keys[1:i+1], c.keys[:i])
+			c.keys[0] = class
+			return true
+		}
+	}
+	if len(c.keys) < c.cap {
+		c.keys = append(c.keys, 0)
+	}
+	copy(c.keys[1:], c.keys)
+	c.keys[0] = class
+	return false
+}
+
+// RunVirtual replays the schedule against the backend in virtual time
+// and returns the step's measured curve point. Latency is completion
+// minus the request's intended start — coordinated-omission-safe by
+// construction, since the virtual clock fires every arrival exactly at
+// its intended time no matter how far behind the service center is.
+func RunVirtual(sched []Request, b VirtualBackend) (StepResult, error) {
+	if err := b.validate(sched); err != nil {
+		return StepResult{}, err
+	}
+	k := sim.New()
+	srv := sim.NewServer(k, b.Workers)
+	if b.Tracer != nil {
+		srv.SetTracer(b.Tracer, "loadgen.backend", 0)
+	}
+	cache := &lruCache{cap: b.CacheCap}
+
+	res := StepResult{Requests: len(sched)}
+	lat := make([]sim.Time, 0, len(sched))
+	var makespan sim.Time
+	for i := range sched {
+		req := sched[i] // capture by value: the closure outlives the loop
+		k.At(req.At, func() {
+			hit := b.CacheCap > 0 && cache.touch(req.Class)
+			if hit {
+				// Memo fast path: served inline without a worker.
+				done := req.At + b.CacheHit
+				k.At(done, func() {
+					res.OK++
+					lat = append(lat, b.CacheHit)
+					if done > makespan {
+						makespan = done
+					}
+				})
+				return
+			}
+			if b.Queue > 0 && srv.QueueLen() >= b.Queue {
+				res.Shed++
+				if req.At > makespan {
+					makespan = req.At
+				}
+				return
+			}
+			srv.Submit(b.Service[req.Class], func() {
+				res.OK++
+				lat = append(lat, k.Now()-req.At)
+				if k.Now() > makespan {
+					makespan = k.Now()
+				}
+			})
+		})
+	}
+	k.Run()
+
+	res.MakespanNs = int64(makespan)
+	res.MeanNs, res.P50Ns, res.P99Ns, res.P999Ns, res.MaxNs = latSummary(lat)
+	if makespan > 0 {
+		res.GoodputQPS = float64(res.OK) / makespan.Seconds()
+	}
+	if len(sched) > 0 {
+		span := sched[len(sched)-1].At
+		if span > 0 {
+			res.OfferedQPS = float64(len(sched)) / span.Seconds()
+		}
+	}
+	return res, nil
+}

@@ -101,6 +101,35 @@ func (h *Histogram) Observe(d sim.Time) {
 	}
 }
 
+// Merge folds another histogram's observations into h, as if every
+// duration o observed had been observed on h directly — counts and
+// buckets add exactly, min/max take the true extremes, and quantiles of
+// the merged stream are identical to observing the union. The capacity
+// sweeper uses it to aggregate per-load-step latency distributions into
+// whole-sweep tails. o is unmodified; merging an empty histogram (or
+// nil) is a no-op, and merging into an empty h must not let h's zero
+// min/max masquerade as observations.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.count == 0 {
+		return
+	}
+	if h.count == 0 {
+		h.min, h.max = o.min, o.max
+	} else {
+		if o.min < h.min {
+			h.min = o.min
+		}
+		if o.max > h.max {
+			h.max = o.max
+		}
+	}
+	for i, n := range o.buckets {
+		h.buckets[i] += n
+	}
+	h.count += o.count
+	h.sum += o.sum
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count }
 
@@ -138,7 +167,14 @@ func (h *Histogram) Quantile(q float64) sim.Time {
 	if q >= 1 {
 		return h.max
 	}
-	rank := uint64(math.Ceil(q * float64(h.count)))
+	// ⌈q·n⌉, guarded against float overshoot: when q·n is an exact rank
+	// mathematically, the double product can land epsilon above it
+	// (0.07·100 = 7.000000000000001) and a bare Ceil then returns the
+	// next rank up. Intended products are either integers or at least
+	// ~1e-3 away, so a 1e-9 relative snap-down is far from shifting a
+	// genuinely fractional rank while absorbing the representation error.
+	p := q * float64(h.count)
+	rank := uint64(math.Ceil(p * (1 - 1e-9)))
 	if rank < 1 {
 		rank = 1
 	}

@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"testing"
+
+	"beacongnn/internal/sim"
+)
+
+// TestHistogramMergeEqualsUnion pins the defining property of Merge:
+// quantiles, count, mean, and extremes of the merged histogram are
+// identical to observing both sample streams on one histogram. This is
+// what lets the capacity sweeper aggregate per-load-step distributions
+// into whole-sweep tails without bias.
+func TestHistogramMergeEqualsUnion(t *testing.T) {
+	var a, b, union Histogram
+	r := uint64(987654321)
+	next := func() sim.Time {
+		r = r*6364136223846793005 + 1442695040888963407
+		return sim.Time(r % 5_000_000)
+	}
+	for i := 0; i < 700; i++ {
+		d := next()
+		a.Observe(d)
+		union.Observe(d)
+	}
+	for i := 0; i < 1300; i++ {
+		d := next()
+		b.Observe(d)
+		union.Observe(d)
+	}
+	a.Merge(&b)
+	if a.Count() != union.Count() || a.Mean() != union.Mean() {
+		t.Fatalf("merged count/mean = %d/%v, union = %d/%v",
+			a.Count(), a.Mean(), union.Count(), union.Mean())
+	}
+	if a.Min() != union.Min() || a.Max() != union.Max() {
+		t.Fatalf("merged min/max = %v/%v, union = %v/%v",
+			a.Min(), a.Max(), union.Min(), union.Max())
+	}
+	for _, q := range []float64{0, 0.01, 0.1, 0.5, 0.9, 0.99, 0.999, 1} {
+		if got, want := a.Quantile(q), union.Quantile(q); got != want {
+			t.Fatalf("Quantile(%v): merged %v, union %v", q, got, want)
+		}
+	}
+	// b must be left untouched.
+	if b.Count() != 1300 {
+		t.Fatalf("source histogram mutated: count = %d", b.Count())
+	}
+}
+
+// TestHistogramMergeIntoEmpty: h's zero-valued min/max must not
+// masquerade as observations when h had none.
+func TestHistogramMergeIntoEmpty(t *testing.T) {
+	var h, o Histogram
+	o.Observe(40 * sim.Microsecond)
+	o.Observe(90 * sim.Microsecond)
+	h.Merge(&o)
+	if h.Count() != 2 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Min() != 40*sim.Microsecond || h.Max() != 90*sim.Microsecond {
+		t.Fatalf("min/max = %v/%v, empty receiver leaked zero extremes", h.Min(), h.Max())
+	}
+}
+
+// TestHistogramMergeEmptySource: merging an empty or nil histogram is a
+// no-op, in particular not disturbing min/max.
+func TestHistogramMergeEmptySource(t *testing.T) {
+	var h, empty Histogram
+	h.Observe(7 * sim.Microsecond)
+	h.Merge(&empty)
+	h.Merge(nil)
+	if h.Count() != 1 || h.Min() != 7*sim.Microsecond || h.Max() != 7*sim.Microsecond {
+		t.Fatalf("no-op merge disturbed state: %v", h.String())
+	}
+}
+
+// TestHistogramQuantileExactRankNoOvershoot pins the float-overshoot
+// fix in the nearest-rank computation: when q·n is mathematically an
+// integer rank but the double product lands epsilon above it
+// (0.07·100 = 7.000000000000001), a bare Ceil selected rank+1. Each
+// case builds a 100-sample histogram whose first k observations are
+// small and the rest large, so nearest-rank ⌈q·100⌉ = k must return
+// the small value; an off-by-one overshoot jumps to the large one.
+func TestHistogramQuantileExactRankNoOvershoot(t *testing.T) {
+	const small, large = 10 * sim.Microsecond, 1000 * sim.Microsecond
+	for _, tc := range []struct {
+		q    float64
+		rank int
+	}{{0.07, 7}, {0.29, 29}, {0.58, 58}, {0.5, 50}, {0.99, 99}} {
+		var h Histogram
+		for i := 1; i <= 100; i++ {
+			if i <= tc.rank {
+				h.Observe(small)
+			} else {
+				h.Observe(large)
+			}
+		}
+		// Anything near the small cluster (well under the large
+		// bucket's midpoint) proves the rank stayed at k.
+		if got := h.Quantile(tc.q); got >= 10*small {
+			t.Fatalf("Quantile(%v) = %v: rank overshot past observation %d into the large samples",
+				tc.q, got, tc.rank)
+		}
+	}
+}

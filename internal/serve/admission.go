@@ -1,6 +1,10 @@
 package serve
 
-import "sync/atomic"
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
 
 // admission is the load shedder: a hard cap on simultaneously admitted
 // heavy requests (queued on the pool plus running). Past the cap the
@@ -11,10 +15,64 @@ import "sync/atomic"
 type admission struct {
 	cap int64
 	cur atomic.Int64
+
+	// rate is the measured-knee limiter (nil when CapacityQPS is not
+	// configured, keeping the legacy queue-depth-only behaviour and a
+	// zero-cost admit path).
+	rate *tokenBucket
 }
 
-func newAdmission(depth int) *admission {
-	return &admission{cap: int64(depth)}
+func newAdmission(depth int, capacityQPS float64) *admission {
+	a := &admission{cap: int64(depth)}
+	if capacityQPS > 0 {
+		a.rate = newTokenBucket(capacityQPS)
+	}
+	return a
+}
+
+// tokenBucket paces admissions at the capacity knee measured by the
+// `-exp capacity` sweep: tokens refill at the knee rate and burst
+// absorbs up to one second of it, so short arrival bursts inside
+// capacity pass while sustained load above the knee sheds — before it
+// ever reaches the queue whose growth the knee was chosen to prevent.
+type tokenBucket struct {
+	mu     sync.Mutex
+	qps    float64
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(qps float64) *tokenBucket {
+	burst := qps // one second of knee capacity
+	if burst < 1 {
+		burst = 1
+	}
+	return &tokenBucket{qps: qps, burst: burst, tokens: burst}
+}
+
+// take spends one token, refilling by elapsed wall time first.
+func (b *tokenBucket) take(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.last.IsZero() {
+		b.tokens += now.Sub(b.last).Seconds() * b.qps
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// allowRate reports whether the knee limiter admits one more request
+// now. Always true when no capacity knee is configured.
+func (a *admission) allowRate(now time.Time) bool {
+	return a.rate == nil || a.rate.take(now)
 }
 
 // tryAcquire admits one request, reporting false (and admitting

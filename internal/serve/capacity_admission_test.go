@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestTokenBucketRefill drives the bucket with synthetic clocks: burst
+// caps the balance, refill is proportional to elapsed time, and an
+// empty bucket refuses.
+func TestTokenBucketRefill(t *testing.T) {
+	b := newTokenBucket(2) // burst 2, starts full
+	t0 := time.Unix(1000, 0)
+	if !b.take(t0) || !b.take(t0) {
+		t.Fatal("full bucket refused its burst")
+	}
+	if b.take(t0) {
+		t.Fatal("empty bucket admitted")
+	}
+	// 500ms refills one token at 2 qps.
+	if !b.take(t0.Add(500 * time.Millisecond)) {
+		t.Fatal("refilled token refused")
+	}
+	if b.take(t0.Add(500 * time.Millisecond)) {
+		t.Fatal("token granted twice")
+	}
+	// A long idle period must cap at burst, not accumulate unboundedly.
+	t1 := t0.Add(time.Hour)
+	if !b.take(t1) || !b.take(t1) {
+		t.Fatal("burst not available after idle")
+	}
+	if b.take(t1) {
+		t.Fatal("burst cap exceeded after idle")
+	}
+}
+
+// TestTokenBucketSubUnitRate: qps < 1 keeps a one-request burst floor so
+// the first request always fits.
+func TestTokenBucketSubUnitRate(t *testing.T) {
+	b := newTokenBucket(0.5)
+	t0 := time.Unix(2000, 0)
+	if !b.take(t0) {
+		t.Fatal("first request refused at sub-unit rate")
+	}
+	if b.take(t0.Add(time.Second)) {
+		t.Fatal("admitted after 1s at 0.5 qps (needs 2s per token)")
+	}
+	if !b.take(t0.Add(2100 * time.Millisecond)) {
+		t.Fatal("refused after a full token period")
+	}
+}
+
+// TestCapacityKneeSheds is the satellite acceptance test: with
+// -capacity-qps configured, load beyond the knee sheds with 429 derived
+// from the knee rate — not from the p50 drain estimate the legacy path
+// uses (which would answer 1s here, since the only observed miss is
+// milliseconds).
+func TestCapacityKneeSheds(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2, CapacityQPS: 0.5})
+	first := post(t, s, "/v1/simulate", simBody("BG-2", ""))
+	if first.Code != http.StatusOK {
+		t.Fatalf("first request: code %d body %.200s", first.Code, first.Body)
+	}
+	// The 0.5 qps bucket held exactly one token; the immediate second
+	// request is above the knee.
+	w := post(t, s, "/v1/simulate", simBody("BG-1", ""))
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("code = %d body %s, want 429 from the knee limiter", w.Code, w.Body)
+	}
+	if !strings.Contains(w.Body.String(), "capacity knee") {
+		t.Fatalf("shed body %s, want the knee cause (not queue full)", w.Body)
+	}
+	ra, err := strconv.Atoi(w.Header().Get("Retry-After"))
+	if err != nil || ra < 2 {
+		t.Fatalf("Retry-After = %q, want >= 2s (one token at 0.5 qps); the p50 path would say 1",
+			w.Header().Get("Retry-After"))
+	}
+	if got := s.reg.Counter("beaconserved_capacity_shed_total").Value(); got != 1 {
+		t.Fatalf("capacity_shed_total = %d, want 1", got)
+	}
+	if got := s.reg.Counter("beaconserved_shed_total").Value(); got != 1 {
+		t.Fatalf("shed_total = %d, want the knee shed counted in the overall total", got)
+	}
+}
+
+// TestCapacityDisabledKeepsLegacyAdmission: CapacityQPS = 0 must leave
+// the request path exactly as before — no limiter allocated, back-to-
+// back requests all admitted, no capacity sheds counted.
+func TestCapacityDisabledKeepsLegacyAdmission(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2})
+	if s.adm.rate != nil {
+		t.Fatal("knee limiter allocated with CapacityQPS unset")
+	}
+	for i := 0; i < 5; i++ {
+		if w := post(t, s, "/v1/simulate", simBody("BG-2", "")); w.Code != http.StatusOK {
+			t.Fatalf("request %d: code %d body %.200s", i, w.Code, w.Body)
+		}
+	}
+	if got := s.reg.Counter("beaconserved_capacity_shed_total").Value(); got != 0 {
+		t.Fatalf("capacity_shed_total = %d with the limiter disabled", got)
+	}
+}

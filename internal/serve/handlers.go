@@ -52,6 +52,17 @@ func (s *Server) admit(w http.ResponseWriter) (release func(), ok bool) {
 			"queue full (%d requests admitted, cap %d); retry later", s.adm.inflight(), s.cfg.QueueDepth)
 		return nil, false
 	}
+	if !s.adm.allowRate(time.Now()) {
+		// Sustained load above the measured capacity knee: shed by rate
+		// before the queue absorbs work it cannot finish inside the SLO.
+		s.adm.release()
+		s.reg.Counter("beaconserved_shed_total").Inc()
+		s.reg.Counter("beaconserved_capacity_shed_total").Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(s.capacityRetryAfterSeconds()))
+		s.writeError(w, http.StatusTooManyRequests,
+			"offered load above the configured capacity knee (%g qps); retry later", s.cfg.CapacityQPS)
+		return nil, false
+	}
 	g := s.reg.Gauge("beaconserved_inflight")
 	g.Add(1)
 	return func() { g.Add(-1); s.adm.release() }, true
@@ -82,6 +93,21 @@ func (s *Server) retryAfterSeconds() int {
 	}
 	if ceil := int(s.cfg.RetryAfterCeiling.Seconds()); est > ceil {
 		return ceil
+	}
+	return est
+}
+
+// capacityRetryAfterSeconds estimates the comeback time from the
+// configured knee instead of the observed p50: the bucket refills at
+// CapacityQPS, so draining the admitted backlog plus this request takes
+// (inflight+1)/qps seconds. Same 1s floor and ceiling as the p50 path.
+func (s *Server) capacityRetryAfterSeconds() int {
+	est := int(math.Ceil(float64(s.adm.inflight()+1) / s.cfg.CapacityQPS))
+	if est < 1 {
+		est = 1
+	}
+	if ceil := int(s.cfg.RetryAfterCeiling.Seconds()); est > ceil {
+		est = ceil
 	}
 	return est
 }

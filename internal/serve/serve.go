@@ -85,6 +85,14 @@ type Config struct {
 	// RetryAfterCeiling caps the Retry-After estimate handed to shed
 	// clients (0 = 60s); the floor stays 1s.
 	RetryAfterCeiling time.Duration
+	// CapacityQPS is the measured saturation knee from the `-exp
+	// capacity` sweep (knee_qps in its JSON report). When > 0, a token
+	// bucket refilling at this rate (burst: one second of it) sheds
+	// sustained load above the knee with 429 before it reaches the
+	// queue, and Retry-After is derived from the knee rate instead of
+	// the observed p50 drain estimate. 0 keeps the legacy
+	// queue-depth-only admission.
+	CapacityQPS float64
 	// DrainTimeout is the hard drain deadline: this long after
 	// BeginDrain, CancelInflight aborts stragglers via per-request
 	// cancellation (0 = 30s). Enforced by the cmd layer.
@@ -185,7 +193,7 @@ func New(cfg Config) *Server {
 		eng:      eng,
 		reg:      metrics.NewRegistry(),
 		insts:    newInstCache(cfg.CacheInstances, eng),
-		adm:      newAdmission(cfg.QueueDepth),
+		adm:      newAdmission(cfg.QueueDepth, cfg.CapacityQPS),
 		mux:      http.NewServeMux(),
 		start:    time.Now(),
 		budget:   chaos.NewRetryBudget(cfg.RetryBudgetRatio, 0),
@@ -199,6 +207,11 @@ func New(cfg Config) *Server {
 	s.reg.GaugeFunc("beaconserved_uptime_seconds", func() float64 {
 		return time.Since(s.start).Seconds()
 	})
+	if cfg.CapacityQPS > 0 {
+		s.reg.GaugeFunc("beaconserved_capacity_qps", func() float64 {
+			return cfg.CapacityQPS
+		})
+	}
 	s.reg.GaugeFunc("beaconserved_sim_runs_total", func() float64 {
 		runs, _ := eng.Stats()
 		return float64(runs)

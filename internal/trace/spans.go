@@ -167,6 +167,34 @@ func (r *Recorder) Breakdown() []ResourceStats {
 	return out
 }
 
+// MergeResourceStats folds several per-run breakdowns (each as returned
+// by Breakdown) into one, summing counts and merging the wait/service
+// histograms per resource name so the merged quantiles equal those of
+// one recorder that saw every span. The capacity sweeper uses it to
+// combine the per-load-step breakdowns of a sweep into a single table.
+// The inputs are not modified; the result is sorted by resource name.
+func MergeResourceStats(groups ...[]ResourceStats) []ResourceStats {
+	byName := map[string]*ResourceStats{}
+	for _, g := range groups {
+		for _, src := range g {
+			st, ok := byName[src.Resource]
+			if !ok {
+				st = &ResourceStats{Resource: src.Resource, Wait: &metrics.Histogram{}, Service: &metrics.Histogram{}}
+				byName[src.Resource] = st
+			}
+			st.Count += src.Count
+			st.Wait.Merge(src.Wait)
+			st.Service.Merge(src.Service)
+		}
+	}
+	out := make([]ResourceStats, 0, len(byName))
+	for _, st := range byName {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Resource < out[j].Resource })
+	return out
+}
+
 // BreakdownTable renders the per-resource wait/service percentiles as a
 // fixed-width text table.
 func (r *Recorder) BreakdownTable() string {

@@ -129,3 +129,54 @@ func TestBreakdownAggregatesPerResource(t *testing.T) {
 		t.Fatalf("table missing resources:\n%s", table)
 	}
 }
+
+// TestMergeResourceStatsEqualsUnion: merging per-run breakdowns must be
+// indistinguishable from one recorder that saw every span — counts,
+// extremes, and quantiles all match, and the sources stay intact.
+func TestMergeResourceStatsEqualsUnion(t *testing.T) {
+	a, b, union := NewRecorder(), NewRecorder(), NewRecorder()
+	emit := func(rs ...*Recorder) func(res string, arrived, start, end sim.Time) {
+		return func(res string, arrived, start, end sim.Time) {
+			for _, r := range rs {
+				r.ServerSpan(res, 0, arrived, start, end)
+			}
+		}
+	}
+	ea, eb := emit(a, union), emit(b, union)
+	for i := sim.Time(1); i <= 50; i++ {
+		ea("flash.die", 0, i, i+3*sim.Microsecond)
+		eb("flash.die", 0, 2*i, 2*i+5*sim.Microsecond)
+		ea("dram.port", i, 2*i, 3*i)
+	}
+	eb("pcie.lane", 0, 0, 9*sim.Microsecond) // only in b
+
+	got := MergeResourceStats(a.Breakdown(), b.Breakdown())
+	want := union.Breakdown()
+	if len(got) != len(want) {
+		t.Fatalf("resources = %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		if g.Resource != w.Resource || g.Count != w.Count {
+			t.Fatalf("stats[%d] = %s/%d, want %s/%d", i, g.Resource, g.Count, w.Resource, w.Count)
+		}
+		for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+			if g.Wait.Quantile(q) != w.Wait.Quantile(q) || g.Service.Quantile(q) != w.Service.Quantile(q) {
+				t.Fatalf("%s: merged quantile(%v) diverges from union", g.Resource, q)
+			}
+		}
+	}
+	// Source breakdowns untouched.
+	if ab := a.Breakdown(); ab[1].Count != 50 {
+		t.Fatalf("source breakdown mutated: %d", ab[1].Count)
+	}
+}
+
+func TestMergeResourceStatsEmpty(t *testing.T) {
+	if got := MergeResourceStats(); len(got) != 0 {
+		t.Fatalf("merge of nothing = %d resources", len(got))
+	}
+	if got := MergeResourceStats(nil, []ResourceStats{}); len(got) != 0 {
+		t.Fatalf("merge of empties = %d resources", len(got))
+	}
+}
