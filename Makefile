@@ -8,7 +8,7 @@ PROFILEDIR ?= profiles
 
 .PHONY: build test race vet bench check cover invariants fuzz-smoke \
 	lint bench-run bench-gate bench-baseline smoke smoke-chaos \
-	smoke-capacity profile
+	smoke-capacity smoke-cluster profile
 
 build:
 	$(GO) build ./...
@@ -77,6 +77,8 @@ bench-run:
 		-benchmem -benchtime=0.5s -count=$(BENCHCOUNT) ./internal/serve/ | tee -a $(BENCHOUT)
 	$(GO) test -run='^$$' -bench='BenchmarkCapacityStep' \
 		-benchmem -benchtime=0.5s -count=$(BENCHCOUNT) ./internal/loadgen/ | tee -a $(BENCHOUT)
+	$(GO) test -run='^$$' -bench='BenchmarkClusterStep|BenchmarkCoordinator' \
+		-benchmem -benchtime=0.5s -count=$(BENCHCOUNT) ./internal/cluster/ | tee -a $(BENCHOUT)
 	$(GO) test -run='^$$' -bench='BenchmarkRunAllParallel' \
 		-benchmem -benchtime=1x -count=$(BENCHCOUNT) . | tee -a $(BENCHOUT)
 
@@ -128,6 +130,14 @@ smoke-chaos:
 # 429s (never hard failures) and drain cleanly.
 smoke-capacity:
 	./ci/smoke_capacity.sh
+
+# Cluster smoke: the -exp cluster scatter-gather sweep must be
+# byte-identical across -parallel widths; a live `beaconserved -cluster 3`
+# must spread requests over >=2 replicas, ride out a killed replica via
+# breaker-guarded consistent-hash failover, restore placement on
+# recovery, and drain cleanly.
+smoke-cluster:
+	./ci/smoke_cluster.sh
 
 # Tier-1 verification: everything CI gates on.
 check: build vet test race invariants

@@ -1,0 +1,98 @@
+# Shared helpers for the ci/smoke_*.sh scripts: daemon build/boot/wait/
+# teardown boilerplate plus a hard global deadline so a wedged daemon can
+# never hang CI. Source after `set -euo pipefail` and after cd'ing to the
+# repo root:
+#
+#     cd "$(dirname "$0")/.."
+#     . ci/lib.sh
+#     smoke_init smoke-foo
+#
+# Overridable knobs:
+#     SMOKE_DEADLINE  hard wall-clock budget for the whole script (default 600s)
+
+SMOKE_DEADLINE="${SMOKE_DEADLINE:-600}"
+
+# smoke_init <name> — set up temp files, traps, and the global watchdog.
+# <name> prefixes every failure message (e.g. "smoke-chaos").
+smoke_init() {
+    SMOKE_NAME="$1"
+    LOG="$(mktemp "/tmp/beaconserved.${SMOKE_NAME}.XXXXXX.log")"
+    BIN="$(mktemp -d)/beaconserved"
+    PID=""
+    ADDR=""
+    trap smoke_cleanup EXIT
+    # Hard global timeout: the watchdog TERMs this script, the TERM trap
+    # reports and exits, and the EXIT trap reaps the daemon. Without it a
+    # daemon that never comes up (or never drains) would hang the CI job
+    # until the runner's own timeout.
+    trap 'fail "global ${SMOKE_DEADLINE}s deadline exceeded"' TERM
+    # stdio detached so the watchdog (and its sleep child, which outlives
+    # the kill in cleanup) can never hold a caller's pipe open past exit.
+    ( sleep "$SMOKE_DEADLINE" && kill -TERM "$$" 2>/dev/null ) >/dev/null 2>&1 </dev/null &
+    WATCHDOG=$!
+}
+
+smoke_cleanup() {
+    if [[ -n "${PID:-}" ]] && kill -0 "$PID" 2>/dev/null; then
+        kill -9 "$PID" 2>/dev/null || true
+    fi
+    if [[ -n "${WATCHDOG:-}" ]]; then
+        kill "$WATCHDOG" 2>/dev/null || true
+    fi
+    rm -f "${BIN:-}"
+}
+
+fail() {
+    echo "${SMOKE_NAME:-smoke}: FAIL: $*" >&2
+    if [[ -n "${LOG:-}" && -s "${LOG:-}" ]]; then
+        echo "---- daemon log ----" >&2
+        cat "$LOG" >&2 || true
+    fi
+    exit 1
+}
+
+build_daemon() {
+    echo "== build"
+    go build -o "$BIN" ./cmd/beaconserved
+}
+
+# start_daemon <addr> [extra daemon flags...] — launch beaconserved on
+# <addr> and block until /healthz answers (or fail).
+start_daemon() {
+    ADDR="$1"
+    shift
+    echo "== start on $ADDR"
+    "$BIN" -addr "$ADDR" "$@" >"$LOG" 2>&1 &
+    PID=$!
+    wait_healthz
+}
+
+# wait_healthz — poll /healthz until the listener is up (~10 s budget).
+wait_healthz() {
+    for _ in $(seq 1 100); do
+        if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then
+            return 0
+        fi
+        kill -0 "$PID" 2>/dev/null || fail "daemon exited during startup"
+        sleep 0.1
+    done
+    fail "healthz never came up"
+}
+
+# term_daemon — SIGTERM the daemon and assert a clean exit-0 drain.
+term_daemon() {
+    echo "== SIGTERM drain"
+    kill -TERM "$PID"
+    local waited=0
+    while kill -0 "$PID" 2>/dev/null; do
+        sleep 0.1
+        waited=$((waited + 1))
+        [[ "$waited" -lt 150 ]] || fail "daemon did not exit within 15s of SIGTERM"
+    done
+    set +e
+    wait "$PID"
+    local code=$?
+    set -e
+    PID=""
+    [[ "$code" == "0" ]] || fail "daemon exited $code, want 0"
+}

@@ -8,43 +8,11 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+. ci/lib.sh
+smoke_init smoke
 
-ADDR="127.0.0.1:18473"
-LOG="$(mktemp /tmp/beaconserved.smoke.XXXXXX.log)"
-BIN="$(mktemp -d)/beaconserved"
-PID=""
-
-cleanup() {
-    if [[ -n "$PID" ]] && kill -0 "$PID" 2>/dev/null; then
-        kill -9 "$PID" 2>/dev/null || true
-    fi
-    rm -f "$BIN"
-}
-trap cleanup EXIT
-
-fail() {
-    echo "smoke: FAIL: $*" >&2
-    echo "---- daemon log ----" >&2
-    cat "$LOG" >&2 || true
-    exit 1
-}
-
-echo "== build"
-go build -o "$BIN" ./cmd/beaconserved
-
-echo "== start on $ADDR"
-"$BIN" -addr "$ADDR" -workers 2 -timeout 60s >"$LOG" 2>&1 &
-PID=$!
-
-# Wait for the listener (up to ~10 s).
-for i in $(seq 1 100); do
-    if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then
-        break
-    fi
-    kill -0 "$PID" 2>/dev/null || fail "daemon exited during startup"
-    sleep 0.1
-done
-curl -fsS "http://$ADDR/healthz" >/dev/null || fail "healthz never came up"
+build_daemon
+start_daemon 127.0.0.1:18473 -workers 2 -timeout 60s
 
 echo "== healthz"
 HEALTH="$(curl -fsS "http://$ADDR/healthz")"
@@ -78,19 +46,7 @@ echo "$METRICS" | grep -q '^beaconserved_sim_runs_total 1$' || fail "expected ex
 echo "$METRICS" | grep -q '^beaconserved_sim_memo_hits_total 1$' || fail "expected exactly 1 memo hit in metrics"
 echo "$METRICS" | grep -q 'beaconserved_responses_total{code="200"}' || fail "missing 200 response counter"
 
-echo "== SIGTERM drain"
-kill -TERM "$PID"
-WAITED=0
-while kill -0 "$PID" 2>/dev/null; do
-    sleep 0.1
-    WAITED=$((WAITED + 1))
-    [[ "$WAITED" -lt 150 ]] || fail "daemon did not exit within 15s of SIGTERM"
-done
-set +e
-wait "$PID"
-EXIT=$?
-set -e
-[[ "$EXIT" == "0" ]] || fail "daemon exited $EXIT, want 0"
+term_daemon
 grep -q "drained cleanly" "$LOG" || fail "log missing clean-drain line"
 
 echo "smoke: PASS"

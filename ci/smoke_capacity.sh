@@ -13,26 +13,8 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-
-ADDR="127.0.0.1:18475"
-LOG="$(mktemp /tmp/beaconserved.capacity.XXXXXX.log)"
-BIN="$(mktemp -d)/beaconserved"
-PID=""
-
-cleanup() {
-    if [[ -n "$PID" ]] && kill -0 "$PID" 2>/dev/null; then
-        kill -9 "$PID" 2>/dev/null || true
-    fi
-    rm -f "$BIN"
-}
-trap cleanup EXIT
-
-fail() {
-    echo "smoke-capacity: FAIL: $*" >&2
-    echo "---- daemon log ----" >&2
-    cat "$LOG" >&2 || true
-    exit 1
-}
+. ci/lib.sh
+smoke_init smoke-capacity
 
 echo "== deterministic capacity sweep (-exp capacity)"
 go run ./cmd/beaconbench -exp capacity -quick -check -parallel 1 >/tmp/smoke_cap_a.txt
@@ -46,20 +28,8 @@ go run ./cmd/beaconbench -exp capacity -quick -json >/tmp/smoke_cap.json
 grep -q '"capacity_curves"' /tmp/smoke_cap.json || fail "JSON missing capacity_curves"
 grep -q '"knee_qps"' /tmp/smoke_cap.json || fail "JSON missing knee_qps"
 
-echo "== build"
-go build -o "$BIN" ./cmd/beaconserved
-
-echo "== start with a 2 qps capacity knee on $ADDR"
-"$BIN" -addr "$ADDR" -workers 2 -timeout 60s -capacity-qps 2 >"$LOG" 2>&1 &
-PID=$!
-
-for i in $(seq 1 100); do
-    if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then
-        break
-    fi
-    kill -0 "$PID" 2>/dev/null || fail "daemon exited during startup"
-    sleep 0.1
-done
+build_daemon
+start_daemon 127.0.0.1:18475 -workers 2 -timeout 60s -capacity-qps 2
 
 echo "== live open-loop sweep far above the knee sheds instead of failing"
 go run ./cmd/beaconbench -drive "http://$ADDR" -drive-capacity \
@@ -75,18 +45,6 @@ SHED="$(echo "$METRICS" | grep '^beaconserved_capacity_shed_total' | awk '{print
 [[ -n "$SHED" && "$SHED" -gt 0 ]] \
     || fail "capacity_shed_total not incremented above the knee: ${SHED:-absent}"
 
-echo "== SIGTERM drain stays clean"
-kill -TERM "$PID"
-WAITED=0
-while kill -0 "$PID" 2>/dev/null; do
-    sleep 0.1
-    WAITED=$((WAITED + 1))
-    [[ "$WAITED" -lt 150 ]] || fail "daemon did not exit within 15s of SIGTERM"
-done
-set +e
-wait "$PID"
-EXIT=$?
-set -e
-[[ "$EXIT" == "0" ]] || fail "daemon exited $EXIT, want 0"
+term_daemon
 
 echo "smoke-capacity: PASS"

@@ -12,26 +12,8 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-
-ADDR="127.0.0.1:18474"
-LOG="$(mktemp /tmp/beaconserved.chaos.XXXXXX.log)"
-BIN="$(mktemp -d)/beaconserved"
-PID=""
-
-cleanup() {
-    if [[ -n "$PID" ]] && kill -0 "$PID" 2>/dev/null; then
-        kill -9 "$PID" 2>/dev/null || true
-    fi
-    rm -f "$BIN"
-}
-trap cleanup EXIT
-
-fail() {
-    echo "smoke-chaos: FAIL: $*" >&2
-    echo "---- daemon log ----" >&2
-    cat "$LOG" >&2 || true
-    exit 1
-}
+. ci/lib.sh
+smoke_init smoke-chaos
 
 echo "== deterministic availability sweep (-exp chaos)"
 go run ./cmd/beaconbench -exp chaos -quick -check >/tmp/smoke_chaos_a.txt
@@ -40,22 +22,10 @@ cmp -s /tmp/smoke_chaos_a.txt /tmp/smoke_chaos_b.txt \
     || fail "-exp chaos report differs between -parallel defaults and 8"
 grep -q "availability under fault" /tmp/smoke_chaos_a.txt || fail "chaos report malformed"
 
-echo "== build"
-go build -o "$BIN" ./cmd/beaconserved
-
-echo "== start with chaos armed on $ADDR"
-"$BIN" -addr "$ADDR" -workers 2 -timeout 60s \
+build_daemon
+start_daemon 127.0.0.1:18474 -workers 2 -timeout 60s \
     -chaos-seed 7 -chaos-engine-fail-rate 1 -chaos-engine-fail-after 1 \
-    -max-attempts 1 -breaker-threshold 1 -breaker-cooldown 5m >"$LOG" 2>&1 &
-PID=$!
-
-for i in $(seq 1 100); do
-    if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then
-        break
-    fi
-    kill -0 "$PID" 2>/dev/null || fail "daemon exited during startup"
-    sleep 0.1
-done
+    -max-attempts 1 -breaker-threshold 1 -breaker-cooldown 5m
 grep -q "CHAOS INJECTION ARMED" "$LOG" || fail "daemon did not announce armed chaos"
 
 echo "== prime (grace period lets the first simulation through)"
@@ -90,18 +60,6 @@ echo "$METRICS" | grep -q 'beaconserved_degraded_total' || fail "missing degrade
 echo "$METRICS" | grep -Eq 'beaconserved_breaker_state\{platform="BG-2",dataset="amazon"\} 1' \
     || fail "breaker state gauge not open (1): $(echo "$METRICS" | grep breaker_state)"
 
-echo "== SIGTERM drain stays clean under chaos"
-kill -TERM "$PID"
-WAITED=0
-while kill -0 "$PID" 2>/dev/null; do
-    sleep 0.1
-    WAITED=$((WAITED + 1))
-    [[ "$WAITED" -lt 150 ]] || fail "daemon did not exit within 15s of SIGTERM"
-done
-set +e
-wait "$PID"
-EXIT=$?
-set -e
-[[ "$EXIT" == "0" ]] || fail "daemon exited $EXIT, want 0"
+term_daemon
 
 echo "smoke-chaos: PASS"

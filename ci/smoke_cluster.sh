@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Cluster smoke test: the sharded multi-device serving tier end to end.
+# First the deterministic half — the `-exp cluster` scatter-gather sweep
+# must be byte-identical across -parallel widths (text and JSON). Then
+# the live half — boot `beaconserved -cluster 3`, spread requests across
+# replicas and assert at least two distinct replicas served (via the
+# per-replica router metrics), kill one replica and verify degraded-
+# then-recovered serving through the consistent-hash router, and SIGTERM
+# for a clean exit-0 drain.
+#
+# Run from the repo root: ./ci/smoke_cluster.sh
+# Needs: go, curl. Uses its own loopback port.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+. ci/lib.sh
+smoke_init smoke-cluster
+
+echo "== deterministic cluster sweep (-exp cluster) is -parallel invariant"
+go run ./cmd/beaconbench -exp cluster -quick -check -parallel 1 >/tmp/smoke_cluster_a.txt
+go run ./cmd/beaconbench -exp cluster -quick -check -parallel 8 >/tmp/smoke_cluster_b.txt
+cmp -s /tmp/smoke_cluster_a.txt /tmp/smoke_cluster_b.txt \
+    || fail "-exp cluster report differs between -parallel 1 and 8"
+grep -q "cluster scaling" /tmp/smoke_cluster_a.txt || fail "cluster report malformed"
+grep -q "failure drill" /tmp/smoke_cluster_a.txt || fail "cluster report missing failure drill"
+
+echo "== JSON cluster report is -parallel invariant and carries the drill"
+go run ./cmd/beaconbench -exp cluster -quick -json -parallel 1 >/tmp/smoke_cluster_a.json
+go run ./cmd/beaconbench -exp cluster -quick -json -parallel 8 >/tmp/smoke_cluster_b.json
+cmp -s /tmp/smoke_cluster_a.json /tmp/smoke_cluster_b.json \
+    || fail "-exp cluster JSON differs between -parallel 1 and 8"
+grep -q '"scaling"' /tmp/smoke_cluster_a.json || fail "JSON missing scaling grid"
+grep -q '"failure"' /tmp/smoke_cluster_a.json || fail "JSON missing failure drill"
+
+build_daemon
+start_daemon 127.0.0.1:18476 -cluster 3 -workers 3 -timeout 60s \
+    -breaker-threshold 1 -breaker-cooldown 1s
+grep -q "cluster mode: 3 replicas" "$LOG" || fail "daemon did not announce cluster mode"
+
+echo "== spread requests across the ring"
+body() { printf '{"platform":"BG-2","dataset":"amazon","nodes":2000,"batches":1,"seed":%d}' "$1"; }
+for seed in 1 2 3 4 5 6 7 8; do
+    CODE="$(curl -sS -o /tmp/smoke_cluster_sim.json -w '%{http_code}' \
+        -H 'Content-Type: application/json' -d "$(body "$seed")" "http://$ADDR/v1/simulate")"
+    [[ "$CODE" == "200" ]] || fail "simulate seed=$seed returned $CODE: $(cat /tmp/smoke_cluster_sim.json)"
+done
+
+echo "== at least two distinct replicas served (per-replica metrics)"
+METRICS="$(curl -fsS "http://$ADDR/metrics")"
+SERVING="$(echo "$METRICS" | grep '^beaconserved_replica_requests_total' | awk '$2 > 0' | wc -l)"
+[[ "$SERVING" -ge 2 ]] \
+    || fail "requests hit only $SERVING replica(s): $(echo "$METRICS" | grep replica_requests || true)"
+
+echo "== placement is stable; find the primary for one key"
+PRIMARY="$(curl -sS -o /dev/null -D - -H 'Content-Type: application/json' \
+    -d "$(body 1)" "http://$ADDR/v1/simulate" | tr -d '\r' | awk -F': ' 'tolower($1)=="x-replica"{print $2}')"
+[[ "$PRIMARY" =~ ^[0-9]+$ ]] || fail "no X-Replica header on routed request"
+
+echo "== kill replica $PRIMARY"
+CODE="$(curl -sS -o /dev/null -w '%{http_code}' -X POST "http://$ADDR/v1/replicas/$PRIMARY/kill")"
+[[ "$CODE" == "200" ]] || fail "kill returned $CODE"
+
+echo "== degraded serving: the key fails over, marked as a fallback"
+HDRS="$(curl -sS -o /tmp/smoke_cluster_deg.json -D - -H 'Content-Type: application/json' \
+    -d "$(body 1)" "http://$ADDR/v1/simulate" | tr -d '\r')"
+echo "$HDRS" | head -1 | grep -q ' 200' || fail "failover request not a 200: $(echo "$HDRS" | head -1)"
+FALLBACK="$(echo "$HDRS" | awk -F': ' 'tolower($1)=="x-replica"{print $2}')"
+[[ "$FALLBACK" != "$PRIMARY" ]] || fail "request still routed to killed replica $PRIMARY"
+echo "$HDRS" | grep -qi '^X-Replica-Fallback: *1' || fail "failover serve not marked X-Replica-Fallback"
+HEALTH="$(curl -sS "http://$ADDR/healthz")"
+echo "$HEALTH" | grep -q '"status": *"degraded"' || fail "healthz not degraded with a dead replica: $HEALTH"
+
+echo "== recover replica $PRIMARY; serving and placement restore"
+CODE="$(curl -sS -o /dev/null -w '%{http_code}' -X POST "http://$ADDR/v1/replicas/$PRIMARY/recover")"
+[[ "$CODE" == "200" ]] || fail "recover returned $CODE"
+RESTORED="$(curl -sS -o /dev/null -D - -H 'Content-Type: application/json' \
+    -d "$(body 1)" "http://$ADDR/v1/simulate" | tr -d '\r' | awk -F': ' 'tolower($1)=="x-replica"{print $2}')"
+[[ "$RESTORED" == "$PRIMARY" ]] \
+    || fail "recovered replica not restored as primary: got $RESTORED, want $PRIMARY"
+HEALTH="$(curl -sS "http://$ADDR/healthz")"
+echo "$HEALTH" | grep -q '"status": *"ok"' || fail "healthz not ok after recover: $HEALTH"
+
+term_daemon
+
+echo "smoke-cluster: PASS"

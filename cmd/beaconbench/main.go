@@ -101,6 +101,16 @@ func main() {
 			}
 			return
 		}
+		if c.exp == "cluster" {
+			rep, err := core.BuildClusterReport(o)
+			if err == nil {
+				err = rep.WriteJSON(os.Stdout)
+			}
+			if err != nil {
+				fatal(err)
+			}
+			return
+		}
 		rep, err := core.BuildReport(o)
 		if err == nil {
 			err = rep.WriteJSON(os.Stdout)

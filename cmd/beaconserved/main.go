@@ -12,6 +12,7 @@
 //	beaconserved -pprof                       # expose /debug/pprof/
 //	beaconserved -hedge-after 2s -breaker-threshold 5   # tune resilience
 //	beaconserved -chaos-engine-fail-rate 0.3 -chaos-seed 7  # armed fault injection
+//	beaconserved -cluster 3                   # 3 in-process replicas, consistent-hash routed
 //
 // Requests are served through a resilience stack: transient engine
 // faults retry under a token budget with jittered exponential backoff,
@@ -29,6 +30,16 @@
 //	GET  /v1/experiments  list experiment ids
 //	GET  /healthz         liveness + drain state
 //	GET  /metrics         Prometheus text exposition
+//
+// With -cluster N the daemon runs N in-process replicas — each with its
+// own engine, caches, and resilience stack — behind a consistent-hash
+// router with cache-aware placement (a given request body always lands
+// on the same replica). Dead replicas are routed around via per-replica
+// circuit breakers, and three router-level endpoints appear:
+//
+//	GET  /v1/replicas              replica states
+//	POST /v1/replicas/{id}/kill    simulate replica failure
+//	POST /v1/replicas/{id}/recover restore a killed replica
 //
 // On SIGTERM/SIGINT the daemon drains: /healthz flips to 503, new work
 // is refused, in-flight requests finish (bounded by -drain-timeout),
@@ -58,6 +69,7 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("beaconserved", flag.ContinueOnError)
 	var (
 		addr         = fs.String("addr", ":8080", "listen address")
+		clusterN     = fs.Int("cluster", 0, "run N in-process replicas behind consistent-hash request routing (0/1 = single server)")
 		workers      = fs.Int("workers", 0, "concurrent simulations (0 = all CPU cores)")
 		queueDepth   = fs.Int("queue-depth", 0, "admitted request cap before 429 shedding (0 = 4x workers)")
 		cacheResults = fs.Int("cache-results", 0, "LRU cap on memoized simulation results (0 = 512)")
@@ -124,7 +136,7 @@ func run(args []string) int {
 		logger.Printf("CHAOS INJECTION ARMED (seed %d) — this daemon will fault on purpose", ccfg.Seed)
 	}
 
-	srv := serve.New(serve.Config{
+	scfg := serve.Config{
 		Workers:           *workers,
 		QueueDepth:        *queueDepth,
 		CacheResults:      *cacheResults,
@@ -146,10 +158,25 @@ func run(args []string) int {
 		CapacityQPS:       *capacityQPS,
 		DrainTimeout:      *drainTimeout,
 		Chaos:             ccfg,
-	})
+	}
+	var (
+		handler        http.Handler
+		beginDrain     func()
+		cancelInflight func() int
+		engineStats    func() (uint64, uint64)
+	)
+	if *clusterN > 1 {
+		cl := serve.NewCluster(*clusterN, scfg)
+		handler, beginDrain, cancelInflight, engineStats = cl, cl.BeginDrain, cl.CancelInflight, cl.Stats
+		logger.Printf("cluster mode: %d replicas behind consistent-hash routing", *clusterN)
+	} else {
+		srv := serve.New(scfg)
+		handler, beginDrain, cancelInflight = srv, srv.BeginDrain, srv.CancelInflight
+		engineStats = func() (uint64, uint64) { return srv.Engine().Stats() }
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv,
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -170,14 +197,14 @@ func run(args []string) int {
 	}
 
 	logger.Printf("signal received; draining (hard deadline %v)", *drainTimeout)
-	srv.BeginDrain()
+	beginDrain()
 	// Hard drain deadline: past it, stragglers are cancelled through
 	// their per-request contexts (aborting simulation kernels mid-run)
 	// rather than holding shutdown hostage. The Shutdown context gets a
 	// short grace on top so cancelled handlers can still write their
 	// error responses and the drain counts as clean.
 	deadline := time.AfterFunc(*drainTimeout, func() {
-		if n := srv.CancelInflight(); n > 0 {
+		if n := cancelInflight(); n > 0 {
 			logger.Printf("drain deadline reached; cancelled %d in-flight request(s)", n)
 		}
 	})
@@ -188,7 +215,7 @@ func run(args []string) int {
 		logger.Printf("drain incomplete: %v", err)
 		return 1
 	}
-	runs, hits := srv.Engine().Stats()
+	runs, hits := engineStats()
 	logger.Printf("drained cleanly (%d simulations run, %d memo hits); bye", runs, hits)
 	return 0
 }

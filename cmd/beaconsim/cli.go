@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"strings"
 
+	"beacongnn/internal/cluster"
 	"beacongnn/internal/config"
 	"beacongnn/internal/dataset"
 	"beacongnn/internal/platform"
@@ -15,14 +16,16 @@ import (
 
 // cliConfig is the fully parsed and validated beaconsim command line.
 type cliConfig struct {
-	kinds    []platform.Kind
-	dataset  dataset.Desc
-	nodes    int
-	batches  int
-	parallel int
-	traceOut string
-	check    bool
-	cfg      config.Config
+	kinds       []platform.Kind
+	dataset     dataset.Desc
+	nodes       int
+	batches     int
+	parallel    int
+	traceOut    string
+	check       bool
+	shards      int
+	partitioner string
+	cfg         config.Config
 }
 
 // parseCLI parses and validates the command line. All error reporting
@@ -48,6 +51,8 @@ func parseCLI(args []string, stderr io.Writer) (*cliConfig, error) {
 		traceOut = fs.String("trace", "", "write a Chrome trace_event JSON request trace to this file")
 		check    = fs.Bool("check", false, "verify run invariants (conservation, drain, energy ledger); fail with a named diagnostic")
 		sched    = fs.String("sched", "", "flash scheduling policy: fifo, sjf, edf, totalfit (default fifo)")
+		shards   = fs.Int("shards", 0, "shard the graph across N simulated BG-2 devices behind a scatter-gather coordinator (0 = single-device platform simulation)")
+		partit   = fs.String("partitioner", "", "shard placement policy for -shards: hash, locality (default hash)")
 
 		faults    = fs.Bool("faults", false, "enable the NAND reliability model (fault injection, read-retry, recovery)")
 		faultRBER = fs.Float64("fault-rber", 0, "base raw bit error rate override (0 = default)")
@@ -81,6 +86,30 @@ func parseCLI(args []string, stderr io.Writer) (*cliConfig, error) {
 	}
 	if *parallel < 0 {
 		return fail("-parallel must be non-negative (0 = all CPU cores), got %d", *parallel)
+	}
+	if *shards < 0 {
+		return fail("-shards must be non-negative (0 = single-device), got %d", *shards)
+	}
+	part := strings.ToLower(strings.TrimSpace(*partit))
+	if part != "" && *shards == 0 {
+		return fail("-partitioner requires -shards")
+	}
+	if *shards > 0 {
+		if part == "" {
+			part = cluster.PartitionHash
+		}
+		valid := false
+		for _, name := range cluster.PartitionerNames() {
+			if part == name {
+				valid = true
+			}
+		}
+		if !valid {
+			return fail("-partitioner must be one of %v, got %q", cluster.PartitionerNames(), part)
+		}
+		if *traceOut != "" {
+			return fail("-trace is not supported with -shards (the coordinator is not traced)")
+		}
 	}
 	if *readLat < 0 {
 		return fail("-read-latency must be non-negative, got %v", *readLat)
@@ -165,14 +194,16 @@ func parseCLI(args []string, stderr io.Writer) (*cliConfig, error) {
 		return fail("%v", err)
 	}
 	return &cliConfig{
-		kinds:    kinds,
-		dataset:  d,
-		nodes:    *nodes,
-		batches:  *batches,
-		parallel: *parallel,
-		traceOut: *traceOut,
-		check:    *check,
-		cfg:      cfg,
+		kinds:       kinds,
+		dataset:     d,
+		nodes:       *nodes,
+		batches:     *batches,
+		parallel:    *parallel,
+		traceOut:    *traceOut,
+		check:       *check,
+		shards:      *shards,
+		partitioner: part,
+		cfg:         cfg,
 	}, nil
 }
 

@@ -68,6 +68,16 @@ func TestParseCLIValid(t *testing.T) {
 				t.Errorf("traceOut = %q", c.traceOut)
 			}
 		}},
+		{"shards-default-partitioner", []string{"-shards", "4"}, func(t *testing.T, c *cliConfig) {
+			if c.shards != 4 || c.partitioner != "hash" {
+				t.Errorf("shards/partitioner = %d/%q, want 4/hash", c.shards, c.partitioner)
+			}
+		}},
+		{"shards-locality", []string{"-shards", "2", "-partitioner", " Locality "}, func(t *testing.T, c *cliConfig) {
+			if c.shards != 2 || c.partitioner != "locality" {
+				t.Errorf("shards/partitioner = %d/%q, want 2/locality", c.shards, c.partitioner)
+			}
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -101,6 +111,10 @@ func TestParseCLIErrors(t *testing.T) {
 		{"rber-out-of-range", []string{"-fault-rber", "0.7"}, "out of range"},
 		{"bad-dead-dies", []string{"-fault-dead-dies", "3,x"}, "bad index"},
 		{"dead-die-out-of-geometry", []string{"-faults", "-fault-dead-dies", "4096"}, "dead die"},
+		{"negative-shards", []string{"-shards", "-1"}, "-shards"},
+		{"partitioner-without-shards", []string{"-partitioner", "hash"}, "-partitioner requires -shards"},
+		{"bad-partitioner", []string{"-shards", "2", "-partitioner", "roundrobin"}, "roundrobin"},
+		{"shards-with-trace", []string{"-shards", "2", "-trace", "out.json"}, "-trace is not supported"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

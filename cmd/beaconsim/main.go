@@ -11,6 +11,7 @@
 //	beaconsim -platform CC,BG-1,BG-2          # a comparison subset
 //	beaconsim -platform bg2 -trace out.json   # request trace for Perfetto
 //	beaconsim -platform all -check            # verify run invariants
+//	beaconsim -shards 4 -partitioner locality # scatter-gather over 4 sharded devices
 //
 // With a platform list (comma-separated, or "all"), the simulations fan
 // out across -parallel workers (default: all CPU cores) and the reports
@@ -39,6 +40,7 @@ import (
 	"strings"
 	"time"
 
+	"beacongnn/internal/cluster"
 	"beacongnn/internal/config"
 	"beacongnn/internal/dataset"
 	"beacongnn/internal/exp"
@@ -69,6 +71,13 @@ func main() {
 		inst.Build.Stats.PrimaryPages, inst.Build.Stats.SecondaryPages,
 		inst.Build.Stats.InflationRatio()*100, time.Since(start).Round(time.Millisecond))
 
+	if c.shards > 0 {
+		if err := runCluster(c, inst); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	eng := exp.New(c.parallel)
 	if c.check {
 		eng.EnableChecks()
@@ -95,6 +104,37 @@ func main() {
 	if len(c.kinds) > 1 && c.traceOut == "" {
 		fmt.Printf("\n%d simulations in %v wall on %d workers\n", len(c.kinds), wall, eng.Workers())
 	}
+}
+
+// runCluster shards the materialized graph across -shards simulated
+// BG-2 devices and runs the scatter-gather coordinator once.
+func runCluster(c *cliConfig, inst *dataset.Instance) error {
+	start := time.Now()
+	res, err := cluster.Run(cluster.Config{
+		Shards:      c.shards,
+		Partitioner: c.partitioner,
+		Cfg:         c.cfg,
+		Batches:     c.batches,
+	}, inst)
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start).Round(time.Millisecond)
+	fmt.Printf("\ncluster of %d BG-2 devices (%s placement) on %s — %d batches × %d targets in %v simulated (%v wall)\n",
+		res.Shards, res.Partitioner, res.Dataset, res.Batches, c.cfg.GNN.BatchSize, sim.Time(res.ElapsedNs), wall)
+	fmt.Printf("throughput        %.0f targets/s\n", res.Throughput)
+	fmt.Printf("fetches           %d (%d neighbor samples)\n", res.Fetches, res.Samples)
+	fmt.Printf("cross-shard       %.1f%% of sampled children (%.1f%% of edges intra-shard)\n",
+		100*res.CrossFrac, 100*res.IntraEdgeFrac)
+	fmt.Printf("fabric            %.2f MB in %d messages\n", float64(res.FabricBytes)/1e6, res.FabricMsgs)
+	fmt.Printf("read balance      %v page reads per shard (imbalance %.2f)\n", res.ShardReads, res.ReadImbalance)
+	if c.check {
+		if err := res.Check(); err != nil {
+			return err
+		}
+		fmt.Println("\ninvariants: all checks passed on the cluster run")
+	}
+	return nil
 }
 
 // runTraced runs the platforms sequentially with a shared request

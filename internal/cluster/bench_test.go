@@ -1,0 +1,34 @@
+package cluster
+
+import "testing"
+
+// BenchmarkClusterStep prices one small sharded run end to end — the
+// unit the -exp cluster sweep multiplies out.
+func BenchmarkClusterStep(b *testing.B) {
+	inst := testInstance(b)
+	c := testConfig(2)
+	c.Batches = 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(c, inst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCoordinator stresses the scatter-gather path: more shards,
+// locality placement, multiple batches.
+func BenchmarkCoordinator(b *testing.B) {
+	inst := testInstance(b)
+	c := testConfig(4)
+	c.Partitioner = PartitionLocality
+	c.Batches = 2
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(c, inst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

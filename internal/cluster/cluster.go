@@ -1,0 +1,178 @@
+package cluster
+
+import (
+	"fmt"
+
+	"beacongnn/internal/config"
+	"beacongnn/internal/dataset"
+	"beacongnn/internal/sim"
+)
+
+// Config describes one cluster simulation: N BG-2 devices serving a
+// partitioned DirectGraph behind a scatter-gather coordinator.
+type Config struct {
+	// Shards is the device count (1 = a single BG-2 behind the same
+	// coordinator protocol, with zero cross-shard traffic by
+	// construction).
+	Shards int
+	// Partitioner names the placement policy: "hash" (default) or
+	// "locality".
+	Partitioner string
+	// Cfg is the per-device configuration (flash geometry, sampler
+	// costs, GNN spec) plus the PCIe link the fabric defaults to.
+	Cfg config.Config
+	// Batches is how many mini-batches the coordinator drives.
+	Batches int
+	// Seed drives target selection and sampling draws; every decision
+	// is a pure function of (Seed, batch, round, position), so the
+	// sampled workload is identical across shard counts and host
+	// parallelism.
+	Seed uint64
+
+	// FabricBandwidth/FabricLatency size the inter-device fabric ports
+	// (0 = the device PCIe link from Cfg).
+	FabricBandwidth float64
+	FabricLatency   sim.Time
+
+	// Fail enables the failure drill: FailShard is killed at the start
+	// of batch FailAfterBatch, ownership of its nodes hands over to the
+	// backup shard, and a chunked re-replication stream rebuilds the
+	// replica on a survivor while serving continues degraded.
+	Fail           bool
+	FailShard      int
+	FailAfterBatch int
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Cfg.Flash.Channels == 0 {
+		out.Cfg = config.Default()
+	}
+	if out.Partitioner == "" {
+		out.Partitioner = PartitionHash
+	}
+	if out.Batches == 0 {
+		out.Batches = 6
+	}
+	if out.Seed == 0 {
+		out.Seed = out.Cfg.Seed
+	}
+	if out.FabricBandwidth == 0 {
+		out.FabricBandwidth = out.Cfg.PCIe.Bandwidth
+	}
+	if out.FabricLatency == 0 {
+		out.FabricLatency = out.Cfg.PCIe.Latency
+	}
+	return out
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Shards <= 0:
+		return fmt.Errorf("cluster: shard count %d must be positive", c.Shards)
+	case c.Batches <= 0:
+		return fmt.Errorf("cluster: batches %d must be positive", c.Batches)
+	case c.FabricBandwidth <= 0:
+		return fmt.Errorf("cluster: fabric bandwidth must be positive")
+	case c.FabricLatency < 0:
+		return fmt.Errorf("cluster: fabric latency must be non-negative")
+	case c.Fail && (c.FailShard < 0 || c.FailShard >= c.Shards):
+		return fmt.Errorf("cluster: fail shard %d outside [0, %d)", c.FailShard, c.Shards)
+	case c.Fail && c.Shards < 2:
+		return fmt.Errorf("cluster: a failure drill needs at least 2 shards")
+	case c.Fail && (c.FailAfterBatch < 0 || c.FailAfterBatch >= c.Batches):
+		return fmt.Errorf("cluster: fail batch %d outside [0, %d)", c.FailAfterBatch, c.Batches)
+	}
+	return c.Cfg.Validate()
+}
+
+// Result is one cluster run's measurement set. All counters are exact
+// event counts from the single simulation kernel.
+type Result struct {
+	Shards      int    `json:"shards"`
+	Partitioner string `json:"partitioner"`
+	Dataset     string `json:"dataset"`
+	Nodes       int    `json:"nodes"`
+	Batches     int    `json:"batches"`
+	Targets     int    `json:"targets"`
+
+	ElapsedNs  int64   `json:"elapsed_ns"`
+	Throughput float64 `json:"throughput"` // targets per second
+
+	// Conservation ledger: Fetches counts frontier entries executed on
+	// devices, Samples counts neighbor draws. Every sampled neighbor is
+	// fetched exactly once (at the next round) and every target exactly
+	// once, so Fetches == Samples + Targets×Batches always.
+	Fetches uint64 `json:"fetches"`
+	Samples uint64 `json:"samples"`
+
+	// CrossChildren counts sampled neighbors owned by a different shard
+	// than their parent; CrossFrac is their fraction of all samples.
+	CrossChildren uint64  `json:"cross_children"`
+	CrossFrac     float64 `json:"cross_frac"`
+
+	FabricBytes   uint64   `json:"fabric_bytes"`
+	FabricMsgs    uint64   `json:"fabric_msgs"`
+	ShardReads    []uint64 `json:"shard_reads"`
+	ReadImbalance float64  `json:"read_imbalance"`  // max/mean page reads across serving shards
+	IntraEdgeFrac float64  `json:"intra_edge_frac"` // partition quality on the full graph
+
+	Failed          bool    `json:"failed,omitempty"`
+	FailShard       int     `json:"fail_shard,omitempty"`
+	BackupShard     int     `json:"backup_shard,omitempty"`
+	DegradedFetches uint64  `json:"degraded_fetches,omitempty"`
+	Availability    float64 `json:"availability"` // fraction of fetches served non-degraded
+	RebalanceNs     int64   `json:"rebalance_ns,omitempty"`
+	MovedBytes      int64   `json:"moved_bytes,omitempty"`
+
+	// OwnershipViolations counts device-side serves of nodes the live
+	// ownership table does not assign to that device. Always 0; the
+	// counter exists so -check can prove it.
+	OwnershipViolations uint64 `json:"ownership_violations"`
+}
+
+// Check enforces the run's conservation invariants: every sampled
+// neighbor fetched exactly once, no shard serving nodes it doesn't own,
+// and a single-shard run generating no cross-shard traffic.
+func (r *Result) Check() error {
+	switch {
+	case r.OwnershipViolations != 0:
+		return fmt.Errorf("cluster: %d fetches served by a non-owning shard", r.OwnershipViolations)
+	case r.Fetches != r.Samples+uint64(r.Targets)*uint64(r.Batches):
+		return fmt.Errorf("cluster: fetch conservation broken: %d fetches != %d samples + %d targets",
+			r.Fetches, r.Samples, uint64(r.Targets)*uint64(r.Batches))
+	case r.Shards == 1 && r.CrossChildren != 0:
+		return fmt.Errorf("cluster: single shard produced %d cross-shard children", r.CrossChildren)
+	case r.CrossFrac < 0 || r.CrossFrac > 1:
+		return fmt.Errorf("cluster: cross-shard fraction %g outside [0,1]", r.CrossFrac)
+	case r.Availability < 0 || r.Availability > 1:
+		return fmt.Errorf("cluster: availability %g outside [0,1]", r.Availability)
+	case !r.Failed && r.Availability != 1:
+		return fmt.Errorf("cluster: availability %g below 1 without a failure drill", r.Availability)
+	case r.ElapsedNs <= 0:
+		return fmt.Errorf("cluster: non-positive elapsed time %d", r.ElapsedNs)
+	}
+	return nil
+}
+
+// Run simulates the cluster serving inst. The instance only needs its
+// topology (Graph) — each device builds a layout-only DirectGraph over
+// its shard, so materialized page bytes are never copied per shard.
+func Run(c Config, inst *dataset.Instance) (*Result, error) {
+	c = c.withDefaults()
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	if inst == nil || inst.Graph == nil {
+		return nil, fmt.Errorf("cluster: instance with a materialized graph required")
+	}
+	pt, err := NewPartitioner(c.Partitioner, c.Shards, inst.Graph)
+	if err != nil {
+		return nil, err
+	}
+	r, err := newRun(c, inst, pt)
+	if err != nil {
+		return nil, err
+	}
+	return r.run()
+}

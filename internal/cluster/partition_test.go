@@ -1,0 +1,137 @@
+package cluster
+
+import (
+	"testing"
+
+	"beacongnn/internal/dataset"
+	"beacongnn/internal/graph"
+)
+
+func testGraph(t testing.TB, nodes int) *graph.Graph {
+	t.Helper()
+	d, err := dataset.ByName("amazon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := dataset.Materialize(d, nodes, 4096, 0xBEAC0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst.Graph
+}
+
+func TestEveryNodeOwnedByExactlyOneShard(t *testing.T) {
+	g := testGraph(t, 1500)
+	for _, name := range PartitionerNames() {
+		for _, n := range []int{1, 2, 3, 8} {
+			p, err := NewPartitioner(name, n, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts := make([]int, n)
+			for v := 0; v < g.NumNodes(); v++ {
+				s := p.Owner(graph.NodeID(v))
+				if s < 0 || s >= n {
+					t.Fatalf("%s/%d: owner(%d) = %d outside [0,%d)", name, n, v, s, n)
+				}
+				counts[s]++
+			}
+			total := 0
+			for _, c := range counts {
+				total += c
+			}
+			if total != g.NumNodes() {
+				t.Fatalf("%s/%d: %d ownerships for %d nodes", name, n, total, g.NumNodes())
+			}
+		}
+	}
+}
+
+func TestOwnershipStableUnderRehash(t *testing.T) {
+	g := testGraph(t, 1500)
+	for _, name := range PartitionerNames() {
+		a, err := NewPartitioner(name, 4, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewPartitioner(name, 4, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < g.NumNodes(); v++ {
+			if a.Owner(graph.NodeID(v)) != b.Owner(graph.NodeID(v)) {
+				t.Fatalf("%s: owner(%d) unstable across re-construction", name, v)
+			}
+		}
+	}
+}
+
+// communityGraph generates a seeded graph with real community structure
+// (70% of edges inside 64-node id blocks) — the workload shape a
+// topology-aware placement policy exists for.
+func communityGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	g, err := graph.Generate(graph.GenSpec{
+		Nodes: 2000, AvgDegree: 20, MaxDegree: 400, FeatureDim: 16,
+		PowerLaw: 2.0, Locality: 0.7, Seed: 0xBEAC0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// The locality policy must keep a meaningfully larger fraction of 1-hop
+// edges intra-shard than hash placement (which pins it near 1/N), and
+// clear an absolute floor on the seeded community graph.
+func TestLocalityKeepsNeighborhoodsCoResident(t *testing.T) {
+	g := communityGraph(t)
+	const n = 4
+	const minIntraFrac = 0.45 // hash sits near 1/n = 0.25
+	hash, err := NewPartitioner(PartitionHash, n, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc, err := NewPartitioner(PartitionLocality, n, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hf, lf := IntraEdgeFraction(g, hash), IntraEdgeFraction(g, loc)
+	if lf <= hf {
+		t.Fatalf("locality intra-edge fraction %.3f not above hash %.3f", lf, hf)
+	}
+	if lf < minIntraFrac {
+		t.Fatalf("locality intra-edge fraction %.3f below configured floor %.2f", lf, minIntraFrac)
+	}
+}
+
+// The balance cap must hold: no shard absorbs more than its fair share
+// plus the configured slack.
+func TestLocalityRespectsBalanceCap(t *testing.T) {
+	g := testGraph(t, 1500)
+	const n = 4
+	p := NewLocalityPartitioner(g, n)
+	load := make([]int, n)
+	for v := 0; v < g.NumNodes(); v++ {
+		load[p.Owner(graph.NodeID(v))]++
+	}
+	max := (g.NumNodes()*(100+localitySlackPct))/(100*n) + 1
+	for s, l := range load {
+		if l > max {
+			t.Fatalf("shard %d holds %d nodes, cap is %d", s, l, max)
+		}
+		if l == 0 {
+			t.Fatalf("shard %d owns zero nodes", s)
+		}
+	}
+}
+
+func TestNewPartitionerRejectsUnknown(t *testing.T) {
+	g := testGraph(t, 1500)
+	if _, err := NewPartitioner("round-robin", 2, g); err == nil {
+		t.Fatal("unknown partitioner accepted")
+	}
+	if _, err := NewPartitioner(PartitionHash, 0, g); err == nil {
+		t.Fatal("zero shards accepted")
+	}
+}

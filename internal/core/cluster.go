@@ -1,0 +1,240 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+
+	"beacongnn/internal/cluster"
+	"beacongnn/internal/exp"
+	"beacongnn/internal/platform"
+	"beacongnn/internal/sim"
+)
+
+// The cluster study scales the BG-2 model out: the DirectGraph is
+// sharded across N simulated devices behind a scatter-gather
+// coordinator, and the sweep reports speedup vs N, the cross-shard
+// traffic each placement policy leaves on the fabric, and how serving
+// availability behaves through a device failure and re-replication.
+// Every grid point is one single-threaded kernel, so the report is
+// byte-identical at any -parallel width.
+
+// clusterDataset is the workload every scaling curve serves — the same
+// dataset (and memoized instance) the fig14 baseline runs on, so the
+// single-device column is directly comparable.
+const clusterDataset = "amazon"
+
+// clusterShardCounts returns the swept device counts.
+func clusterShardCounts(quick bool) []int {
+	if quick {
+		return []int{1, 2, 4}
+	}
+	return []int{1, 2, 4, 8}
+}
+
+// clusterSeed derives a grid point's seed from the run seed and the
+// point's coordinates. The workload draws are position-based, so points
+// that share a seed sample the same frontier regardless of placement —
+// the sweep uses one seed per (partitioner, N) only to decorrelate the
+// failure drill from the scaling grid.
+func clusterSeed(base uint64, part string, shards int) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "cluster|%s|%d", part, shards)
+	return base ^ h.Sum64()
+}
+
+// ClusterPoint is one grid point: the raw run plus its speedup over the
+// same partitioner's single-device row.
+type ClusterPoint struct {
+	cluster.Result
+	Speedup float64 `json:"speedup"`
+}
+
+// ClusterReport is the machine-readable cluster study
+// (`beaconbench -exp cluster -json`).
+type ClusterReport struct {
+	Dataset            string          `json:"dataset"`
+	Nodes              int             `json:"nodes"`
+	Batches            int             `json:"batches"`
+	BaselineElapsedNs  int64           `json:"baseline_elapsed_ns"`
+	BaselineThroughput float64         `json:"baseline_throughput"`
+	Scaling            []ClusterPoint  `json:"scaling"`
+	Failure            *cluster.Result `json:"failure"`
+}
+
+// BuildClusterReport runs the scaling grid and the failure drill. The
+// baseline row delegates to the exact memoized BG-2 simulation the
+// paper figures use, so a cluster report never perturbs (and always
+// agrees with) the single-device numbers.
+func BuildClusterReport(o *Options) (*ClusterReport, error) {
+	o.fill()
+	base, err := o.simulate(platform.BG2, clusterDataset, simTimeline)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := o.instance(clusterDataset)
+	if err != nil {
+		return nil, err
+	}
+
+	shardCounts := clusterShardCounts(o.Quick)
+	parts := cluster.PartitionerNames()
+	type point struct{ p, n int }
+	var grid []point
+	for pi := range parts {
+		for ni := range shardCounts {
+			grid = append(grid, point{pi, ni})
+		}
+	}
+	rows, err := exp.Map(grid, func(pt point) (*cluster.Result, error) {
+		c := cluster.Config{
+			Shards:      shardCounts[pt.n],
+			Partitioner: parts[pt.p],
+			Cfg:         o.Cfg,
+			Batches:     o.Batches,
+			Seed:        clusterSeed(o.Cfg.Seed, "scale", 0),
+		}
+		var res *cluster.Result
+		var rerr error
+		if terr := o.engine().ThrottleCtx(o.context(), func() {
+			res, rerr = cluster.Run(c, inst)
+		}); terr != nil {
+			return nil, terr
+		}
+		return res, rerr
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &ClusterReport{
+		Dataset:            clusterDataset,
+		Nodes:              inst.Graph.NumNodes(),
+		Batches:            o.Batches,
+		BaselineElapsedNs:  int64(base.Elapsed),
+		BaselineThroughput: base.Throughput,
+	}
+	i := 0
+	for range parts {
+		var one *cluster.Result
+		for range shardCounts {
+			r := rows[i]
+			i++
+			if r.Shards == 1 {
+				one = r
+			}
+			p := ClusterPoint{Result: *r}
+			if one != nil && one.Throughput > 0 {
+				p.Speedup = r.Throughput / one.Throughput
+			}
+			rep.Scaling = append(rep.Scaling, p)
+		}
+	}
+
+	// Failure drill: the largest cluster loses a device halfway through.
+	maxN := shardCounts[len(shardCounts)-1]
+	fc := cluster.Config{
+		Shards:         maxN,
+		Partitioner:    cluster.PartitionHash,
+		Cfg:            o.Cfg,
+		Batches:        o.Batches,
+		Seed:           clusterSeed(o.Cfg.Seed, "drill", maxN),
+		Fail:           true,
+		FailShard:      1,
+		FailAfterBatch: o.Batches / 2,
+	}
+	var drillErr error
+	if terr := o.engine().ThrottleCtx(o.context(), func() {
+		rep.Failure, drillErr = cluster.Run(fc, inst)
+	}); terr != nil {
+		return nil, terr
+	}
+	if drillErr != nil {
+		return nil, drillErr
+	}
+	return rep, nil
+}
+
+// WriteJSON emits the report as indented JSON.
+func (r *ClusterReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// checkCluster enforces the sweep's conservation invariants on top of
+// each run's own Check: the sampled workload must be identical at every
+// grid point (placement may move traffic, never work), and the drill
+// must actually have rebalanced.
+func checkCluster(rep *ClusterReport) error {
+	if len(rep.Scaling) == 0 {
+		return fmt.Errorf("cluster: empty scaling grid")
+	}
+	first := rep.Scaling[0].Result
+	for i := range rep.Scaling {
+		r := &rep.Scaling[i].Result
+		if err := r.Check(); err != nil {
+			return fmt.Errorf("cluster %s/%d: %w", r.Partitioner, r.Shards, err)
+		}
+		if r.Fetches != first.Fetches || r.Samples != first.Samples {
+			return fmt.Errorf("cluster %s/%d: workload moved with placement: %d/%d fetches, %d/%d samples",
+				r.Partitioner, r.Shards, r.Fetches, first.Fetches, r.Samples, first.Samples)
+		}
+		if r.Shards == 1 && rep.Scaling[i].Speedup != 1 {
+			return fmt.Errorf("cluster %s: single-device speedup %g != 1", r.Partitioner, rep.Scaling[i].Speedup)
+		}
+	}
+	f := rep.Failure
+	if f == nil {
+		return fmt.Errorf("cluster: missing failure drill")
+	}
+	if err := f.Check(); err != nil {
+		return fmt.Errorf("cluster drill: %w", err)
+	}
+	if !f.Failed || f.MovedBytes <= 0 || f.RebalanceNs <= 0 {
+		return fmt.Errorf("cluster drill: no rebalance recorded: %+v", f)
+	}
+	return nil
+}
+
+// RunCluster executes the cluster study: scaling curves per placement
+// policy plus the failure-rebalance drill.
+func RunCluster(o *Options, w io.Writer) error {
+	o.fill()
+	rep, err := BuildClusterReport(o)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "-- cluster scaling (%s, %d nodes, %d batches; baseline BG-2 %v / %.1f targets/s)\n",
+		rep.Dataset, rep.Nodes, rep.Batches, sim.Time(rep.BaselineElapsedNs), rep.BaselineThroughput)
+	last := ""
+	for _, p := range rep.Scaling {
+		if p.Partitioner != last {
+			last = p.Partitioner
+			fmt.Fprintf(w, "   %s placement\n", p.Partitioner)
+			fmt.Fprintf(w, "   %7s %12s %10s %8s %8s %8s %12s %10s\n",
+				"devices", "elapsed", "targets/s", "speedup", "cross%", "intra%", "fabric", "imbalance")
+		}
+		fmt.Fprintf(w, "   %7d %12v %10.1f %8.2f %7.1f%% %7.1f%% %9.2f MB %10.2f\n",
+			p.Shards, sim.Time(p.ElapsedNs), p.Throughput, p.Speedup,
+			100*p.CrossFrac, 100*p.IntraEdgeFrac, float64(p.FabricBytes)/1e6, p.ReadImbalance)
+	}
+	f := rep.Failure
+	fmt.Fprintf(w, "-- failure drill (%s, %d devices: shard %d dies at batch %d)\n",
+		f.Partitioner, f.Shards, f.FailShard, rep.Batches/2)
+	fmt.Fprintf(w, "   backup shard %d took ownership; moved %.2f MB in %v; %d of %d fetches degraded; availability %.4f\n",
+		f.BackupShard, float64(f.MovedBytes)/1e6, sim.Time(f.RebalanceNs),
+		f.DegradedFetches, f.Fetches, f.Availability)
+	fmt.Fprintln(w, "expect: speedup grows with device count but sub-linearly — the per-hop coordinator")
+	fmt.Fprintln(w, "        barrier and fabric round trips are the serial fraction; locality placement")
+	fmt.Fprintln(w, "        trades read balance for co-residency; the drill serves every request through the failure,")
+	fmt.Fprintln(w, "        dipping to degraded replica serves only while the re-replication stream drains;")
+	fmt.Fprintln(w, "        identical output at any -parallel width")
+	if o.Check {
+		if err := checkCluster(rep); err != nil {
+			return err
+		}
+	}
+	return nil
+}

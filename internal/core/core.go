@@ -137,6 +137,7 @@ func AllExperiments() []Experiment {
 		Experiment{"sched", "Scheduling: flash queueing policies (fifo/sjf/edf/totalfit)", RunSched},
 		Experiment{"chaos", "Chaos: availability, goodput, and MTTR under injected faults", RunChaos},
 		Experiment{"capacity", "Capacity: open-loop SLO capacity curves and saturation knees", RunCapacity},
+		Experiment{"cluster", "Cluster: sharded multi-device scaling, cross-shard traffic, failure rebalance", RunCluster},
 	)
 }
 

@@ -17,7 +17,12 @@ type GenSpec struct {
 	MaxDegree  int     // degree cap (0 = Nodes-1)
 	FeatureDim int     // FP16 feature vector length
 	PowerLaw   float64 // Pareto shape; 0 = uniform degrees
-	Seed       uint64
+	// Locality is the fraction of edges wired inside a node's community
+	// block (LocalityBlock contiguous ids) instead of uniformly across
+	// the graph. 0 keeps the historical uniform wiring bit-for-bit.
+	Locality      float64
+	LocalityBlock int // community size; 0 = 64
+	Seed          uint64
 }
 
 // Validate reports whether the spec is usable.
@@ -31,6 +36,10 @@ func (s GenSpec) Validate() error {
 		return fmt.Errorf("graph: FeatureDim must be non-negative, got %d", s.FeatureDim)
 	case s.AvgDegree >= float64(s.Nodes):
 		return fmt.Errorf("graph: AvgDegree %v >= Nodes %d", s.AvgDegree, s.Nodes)
+	case s.Locality < 0 || s.Locality > 1:
+		return fmt.Errorf("graph: Locality %v outside [0,1]", s.Locality)
+	case s.LocalityBlock < 0:
+		return fmt.Errorf("graph: LocalityBlock must be non-negative, got %d", s.LocalityBlock)
 	}
 	return nil
 }
@@ -112,18 +121,39 @@ func DegreeSequence(spec GenSpec) ([]int, error) {
 // sequence is drawn, then each node's neighbors are chosen uniformly at
 // random (a configuration-model-style wiring, adequate because the
 // simulator cares about address distribution, not community structure).
-// Features are filled with small deterministic pseudo-random values.
+// A non-zero Locality mixes in community structure — that fraction of
+// edges stays inside the node's LocalityBlock-sized id block — which is
+// what topology-aware placement policies exist to exploit. Features are
+// filled with small deterministic pseudo-random values.
 func Generate(spec GenSpec) (*Graph, error) {
 	degs, err := DegreeSequence(spec)
 	if err != nil {
 		return nil, err
 	}
 	rng := xrand.New(spec.Seed + 1)
+	block := spec.LocalityBlock
+	if block <= 0 {
+		block = 64
+	}
+	if block > spec.Nodes {
+		block = spec.Nodes
+	}
 	b := NewBuilder(spec.Nodes, spec.FeatureDim)
 	for v, d := range degs {
 		for j := 0; j < d; j++ {
-			// Uniform target, avoiding trivial self loops where possible.
-			u := rng.Intn(spec.Nodes)
+			var u int
+			if spec.Locality > 0 && rng.Float64() < spec.Locality {
+				// Community edge: target within this node's id block.
+				start := (v / block) * block
+				span := block
+				if start+span > spec.Nodes {
+					span = spec.Nodes - start
+				}
+				u = start + rng.Intn(span)
+			} else {
+				// Uniform target, avoiding trivial self loops where possible.
+				u = rng.Intn(spec.Nodes)
+			}
 			if u == v {
 				u = (u + 1) % spec.Nodes
 			}

@@ -1,0 +1,25 @@
+package platform
+
+import (
+	"beacongnn/internal/config"
+	"beacongnn/internal/sim"
+)
+
+// DeviceSampleExtra is the die-side occupancy a BG-2 device adds on top
+// of the flash sense for one in-storage sampling command: the die
+// sampler's fixed section setup, the per-draw cost for fanout draws, and
+// one crossbar hop to route the command. The cluster coordinator charges
+// this per frontier entry so scaled-out devices price sampling exactly
+// like the single-device BG-2 model.
+func DeviceSampleExtra(cfg config.Config, fanout int) sim.Time {
+	ds := cfg.DieSampler
+	return ds.Fixed + sim.Time(fanout)*ds.PerDraw + ds.CrossbarLat
+}
+
+// DeviceFeatureExtra is the die-side occupancy for a terminal-hop
+// feature fetch: section setup plus the stream parser emitting the
+// feature vector, with the crossbar hop to route it.
+func DeviceFeatureExtra(cfg config.Config) sim.Time {
+	ds := cfg.DieSampler
+	return ds.Fixed + ds.ParseLat + ds.CrossbarLat
+}

@@ -1,0 +1,192 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testCluster(t *testing.T, n int, cfg Config) *Cluster {
+	t.Helper()
+	c := NewCluster(n, cfg)
+	t.Cleanup(func() { c.CancelInflight() })
+	return c
+}
+
+// routeBody returns a quick-failing /v1/simulate body (unknown dataset →
+// 400 at the replica) whose routing key still varies with seed — routing
+// happens before replica-side validation, so these exercise the ring
+// without running simulations.
+func routeBody(seed int) string {
+	return fmt.Sprintf(`{"platform":"BG-2","dataset":"no-such-dataset","seed":%d}`, seed)
+}
+
+func postSim(c *Cluster, body string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodPost, "/v1/simulate", strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	c.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestClusterPlacementIsStableAndSpreads(t *testing.T) {
+	c := testCluster(t, 3, Config{})
+	// Same body always lands on the same replica (cache affinity).
+	first := postSim(c, routeBody(42)).Header().Get("X-Replica")
+	if first == "" {
+		t.Fatal("no X-Replica header")
+	}
+	for i := 0; i < 5; i++ {
+		if got := postSim(c, routeBody(42)).Header().Get("X-Replica"); got != first {
+			t.Fatalf("same request moved replicas: %s then %s", first, got)
+		}
+	}
+	// Distinct keys spread across more than one replica.
+	seen := map[string]bool{}
+	for seed := 0; seed < 32; seed++ {
+		seen[postSim(c, routeBody(seed)).Header().Get("X-Replica")] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("32 distinct keys all routed to one replica: %v", seen)
+	}
+}
+
+func TestClusterTimeoutDoesNotMovePlacement(t *testing.T) {
+	c := testCluster(t, 3, Config{})
+	a := postSim(c, `{"platform":"BG-2","dataset":"x","seed":9}`).Header().Get("X-Replica")
+	b := postSim(c, `{"platform":"BG-2","dataset":"x","seed":9,"timeout_ms":5000}`).Header().Get("X-Replica")
+	if a != b {
+		t.Fatalf("timeout_ms moved placement: %s vs %s", a, b)
+	}
+}
+
+func TestClusterKillFallsThroughAndRecovers(t *testing.T) {
+	c := testCluster(t, 2, Config{BreakerThreshold: 1, BreakerCooldown: time.Hour})
+	body := routeBody(7)
+	primary := postSim(c, body).Header().Get("X-Replica")
+	var pid int
+	fmt.Sscanf(primary, "%d", &pid)
+
+	c.Kill(pid)
+	rec := postSim(c, body)
+	got := rec.Header().Get("X-Replica")
+	if got == primary {
+		t.Fatalf("request still routed to killed replica %s", primary)
+	}
+	if rec.Header().Get("X-Replica-Fallback") != "1" {
+		t.Fatal("fallback serve not marked")
+	}
+
+	c.Recover(pid)
+	if got := postSim(c, body).Header().Get("X-Replica"); got != primary {
+		t.Fatalf("recovered replica not restored as primary: %s vs %s", got, primary)
+	}
+}
+
+// Regression: a dead replica on a 1-survivor cluster must not be
+// re-probed more often than the breaker half-open interval. Before the
+// breaker guarded routing, every request contacted the dead replica
+// first — a probe storm that doubled tail latency for the survivor's
+// whole key range.
+func TestClusterDeadReplicaProbeClamped(t *testing.T) {
+	c := testCluster(t, 2, Config{BreakerThreshold: 1, BreakerCooldown: time.Hour})
+	body := routeBody(7)
+	primary := postSim(c, body).Header().Get("X-Replica")
+	var pid int
+	fmt.Sscanf(primary, "%d", &pid)
+	survivor := 1 - pid
+
+	c.Kill(pid)
+	const hammer = 50
+	for i := 0; i < hammer; i++ {
+		rec := postSim(c, body)
+		if got := rec.Header().Get("X-Replica"); got != fmt.Sprint(survivor) {
+			t.Fatalf("request %d not served by survivor: %q", i, got)
+		}
+	}
+	// Threshold 1 → exactly one contact trips the breaker Open; with an
+	// hour's cooldown the hammer must never touch the dead replica
+	// again.
+	if probes := c.DeadProbes(pid); probes > 1 {
+		t.Fatalf("dead replica probed %d times during hammer; breaker should clamp to 1", probes)
+	}
+	if got := c.RoutedRequests(survivor); got < hammer {
+		t.Fatalf("survivor served %d of %d hammer requests", got, hammer)
+	}
+}
+
+func TestClusterHealthzStates(t *testing.T) {
+	c := testCluster(t, 2, Config{})
+	get := func() (int, map[string]any) {
+		rec := httptest.NewRecorder()
+		c.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+		var m map[string]any
+		json.Unmarshal(rec.Body.Bytes(), &m)
+		return rec.Code, m
+	}
+	if code, m := get(); code != http.StatusOK || m["status"] != "ok" {
+		t.Fatalf("healthy cluster: %d %v", code, m)
+	}
+	c.Kill(0)
+	if code, m := get(); code != http.StatusOK || m["status"] != "degraded" {
+		t.Fatalf("one-dead cluster: %d %v", code, m)
+	}
+	c.Kill(1)
+	if code, _ := get(); code != http.StatusServiceUnavailable {
+		t.Fatalf("all-dead cluster healthz %d, want 503", code)
+	}
+	c.Recover(0)
+	c.Recover(1)
+	c.BeginDrain()
+	if code, m := get(); code != http.StatusServiceUnavailable || m["status"] != "draining" {
+		t.Fatalf("draining cluster: %d %v", code, m)
+	}
+}
+
+func TestClusterAllDeadSheds(t *testing.T) {
+	c := testCluster(t, 2, Config{BreakerThreshold: 1, BreakerCooldown: time.Hour})
+	c.Kill(0)
+	c.Kill(1)
+	rec := postSim(c, routeBody(3))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("all-dead cluster returned %d, want 503", rec.Code)
+	}
+}
+
+func TestClusterAdminEndpoints(t *testing.T) {
+	c := testCluster(t, 2, Config{})
+	do := func(method, path string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		c.ServeHTTP(rec, httptest.NewRequest(method, path, nil))
+		return rec
+	}
+	if rec := do(http.MethodPost, "/v1/replicas/1/kill"); rec.Code != http.StatusOK {
+		t.Fatalf("kill: %d %s", rec.Code, rec.Body)
+	}
+	if rec := do(http.MethodGet, "/v1/replicas"); rec.Code != http.StatusOK ||
+		!strings.Contains(rec.Body.String(), `"killed":true`) {
+		t.Fatalf("replica list after kill: %d %s", rec.Code, rec.Body)
+	}
+	if rec := do(http.MethodPost, "/v1/replicas/1/recover"); rec.Code != http.StatusOK {
+		t.Fatalf("recover: %d %s", rec.Code, rec.Body)
+	}
+	if rec := do(http.MethodPost, "/v1/replicas/9/kill"); rec.Code != http.StatusNotFound {
+		t.Fatalf("bad replica id: %d", rec.Code)
+	}
+	if rec := do(http.MethodGet, "/v1/replicas/1/kill"); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET kill: %d", rec.Code)
+	}
+}
+
+func TestClusterForwardsExperimentList(t *testing.T) {
+	c := testCluster(t, 2, Config{})
+	rec := httptest.NewRecorder()
+	c.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/experiments", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "fig14") {
+		t.Fatalf("experiment list: %d %s", rec.Code, rec.Body)
+	}
+}
